@@ -1,0 +1,66 @@
+"""Benchmarks for the end-to-end engine and its components."""
+
+import numpy as np
+import pytest
+
+from repro import PAPER_DESIGNS, TopKSpmvEngine
+from repro.arithmetic.codecs import codec_for_design
+from repro.baselines.cpu import CpuTopKSpmv
+from repro.baselines.gpu import GpuTopKSpmv
+from repro.core.dataflow import DataflowCore
+from repro.formats.bscsr import encode_bscsr
+from repro.formats.layout import solve_layout
+
+
+@pytest.fixture(scope="module")
+def engine_20b(bench_matrix):
+    return TopKSpmvEngine(bench_matrix, design=PAPER_DESIGNS["20b"])
+
+
+def test_engine_build(benchmark, bench_matrix):
+    """Collection load: partition + quantise + encode 32 streams."""
+    engine = benchmark(TopKSpmvEngine, bench_matrix, PAPER_DESIGNS["20b"])
+    assert engine.encoded.n_partitions == 32
+
+
+def test_dataflow_fast_path(benchmark, bench_matrix, bench_query):
+    """The vectorised Algorithm 1 core on one 30k-row stream."""
+    layout = solve_layout(1024, 20)
+    stream = encode_bscsr(
+        bench_matrix, layout, codec_for_design(20, "fixed"), rows_per_packet=7
+    )
+    core = DataflowCore(8, bench_query)
+    result, stats = benchmark(core.run_fast, stream)
+    assert stats.rows_finished == bench_matrix.n_rows
+
+
+def test_dataflow_reference_path_2k_rows(benchmark, bench_matrix, bench_query):
+    """The packet-by-packet reference core (hardware-faithful path)."""
+    sub = bench_matrix.row_slice(0, 2000)
+    layout = solve_layout(1024, 20)
+    stream = encode_bscsr(sub, layout, codec_for_design(20, "fixed"), rows_per_packet=7)
+    core = DataflowCore(8, bench_query)
+    result, stats = benchmark(core.run, stream)
+    assert stats.rows_finished == 2000
+
+
+def test_cpu_baseline_query(benchmark, bench_matrix, bench_query):
+    """The functional sparse_dot_topn-equivalent query."""
+    cpu = CpuTopKSpmv(bench_matrix)
+    result = benchmark(cpu.query, bench_query, 100)
+    assert len(result) == 100
+
+
+def test_gpu_f16_baseline_query(benchmark, bench_matrix, bench_query):
+    """The functional float16 GPU query."""
+    gpu = GpuTopKSpmv(bench_matrix, precision="float16")
+    result = benchmark(gpu.query, bench_query, 100)
+    assert len(result) == 100
+
+
+def test_exact_reference_query(benchmark, bench_matrix, bench_query):
+    """The float64 golden Top-K (SpMV + argpartition)."""
+    from repro.core.reference import exact_topk_spmv
+
+    result = benchmark(exact_topk_spmv, bench_matrix, bench_query, 100)
+    assert len(result) == 100

@@ -1,0 +1,45 @@
+"""Benchmark + reproduction: Figure 6 (roofline model)."""
+
+import pytest
+
+from repro.analysis.roofline import fpga_scaling_series, platform_comparison_points
+from repro.experiments.paper_data import FIGURE6_CORE_SCALING_GBPS
+from repro.hw.design import PAPER_DESIGNS
+
+
+def test_core_scaling_series(benchmark):
+    """Figure 6a: the four core-count roofline points, B=15 and B=5."""
+
+    def run_series():
+        design = PAPER_DESIGNS["20b"]
+        return (
+            fpga_scaling_series(design, [1, 8, 16, 32]),
+            fpga_scaling_series(design, [1, 8, 16, 32], avg_nnz_per_packet=5.0),
+        )
+
+    bscsr, coo = benchmark(run_series)
+    for point, (cores, gbps) in zip(bscsr, FIGURE6_CORE_SCALING_GBPS.items()):
+        assert point.bandwidth_bps / 1e9 == pytest.approx(gbps, rel=0.01)
+    # 3x OI gain B=5 -> B=15.
+    assert bscsr[0].operational_intensity / coo[0].operational_intensity == pytest.approx(3.0)
+
+
+def test_platform_comparison(benchmark):
+    """Figure 6b: CPU/GPU/FPGA points at the N=10^7 working set."""
+
+    def run_points():
+        return platform_comparison_points(
+            3 * 10**8, 10**7,
+            designs=[PAPER_DESIGNS["32b"], PAPER_DESIGNS["20b"]],
+        )
+
+    points = benchmark(run_points)
+    fpga = next(p for p in points if p.name == "FPGA 20b 32C")
+    for other in points:
+        if other is fpga:
+            continue
+        assert fpga.operational_intensity >= other.operational_intensity
+        assert fpga.performance >= other.performance
+    # Despite 20% more GPU bandwidth (549 vs 460 GB/s), FPGA wins ~2x.
+    gpu = next(p for p in points if "float32" in p.name)
+    assert fpga.performance / gpu.performance == pytest.approx(2.1, rel=0.2)

@@ -1,0 +1,53 @@
+"""Benchmarks for the BS-CSR format kernels (encode/decode/pack/count)."""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.codecs import codec_for_design
+from repro.formats.bscsr import BSCSRStream, decode_to_csr, encode_bscsr
+from repro.formats.layout import solve_layout
+from repro.formats.stats import count_packets
+
+LAYOUT = solve_layout(1024, 20)
+CODEC = codec_for_design(20, "fixed")
+
+
+def test_encode_30k_rows(benchmark, bench_matrix):
+    """BS-CSR encoding throughput (row walk + lane packing)."""
+    stream = benchmark(encode_bscsr, bench_matrix, LAYOUT, CODEC, 7)
+    assert stream.nnz == bench_matrix.nnz
+
+
+def test_decode_30k_rows(benchmark, bench_matrix):
+    """Structural decode back to CSR."""
+    stream = encode_bscsr(bench_matrix, LAYOUT, CODEC, rows_per_packet=7)
+    back = benchmark(decode_to_csr, stream)
+    assert back.n_rows == bench_matrix.n_rows
+
+
+def test_bit_exact_serialisation(benchmark, bench_matrix):
+    """512-bit wire serialisation (the BitWriter path), 2 000-row slice."""
+    sub = bench_matrix.row_slice(0, 2000)
+    stream = encode_bscsr(sub, LAYOUT, CODEC, rows_per_packet=7)
+    wire = benchmark(stream.to_bytes)
+    assert len(wire) == stream.n_packets * 64
+
+
+def test_bit_exact_deserialisation(benchmark, bench_matrix):
+    """Wire deserialisation (the BitReader path)."""
+    sub = bench_matrix.row_slice(0, 2000)
+    stream = encode_bscsr(sub, LAYOUT, CODEC, rows_per_packet=7)
+    wire = stream.to_bytes()
+
+    again = benchmark(
+        BSCSRStream.from_bytes, wire, LAYOUT, CODEC,
+        stream.n_rows, stream.n_cols, stream.nnz, 7,
+    )
+    assert np.array_equal(again.val_raw, stream.val_raw)
+
+
+def test_packet_counter_1m_rows(benchmark):
+    """The greedy packet counter at 10^6 rows (paper-scale sizing kernel)."""
+    lengths = np.random.default_rng(2).integers(10, 31, size=1_000_000)
+    n_packets, _, _ = benchmark(count_packets, lengths, 15, 7)
+    assert n_packets == pytest.approx(lengths.sum() / 15, rel=0.01)

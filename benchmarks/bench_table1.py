@@ -1,0 +1,44 @@
+"""Benchmark + reproduction: Table I (partitioned precision estimates)."""
+
+import pytest
+
+from repro.core.precision_model import (
+    estimate_precision_monte_carlo,
+    expected_precision,
+)
+from repro.experiments.paper_data import TABLE1_K_VALUES, TABLE1_PAPER
+
+
+def test_monte_carlo_grid(benchmark):
+    """One full Table I Monte Carlo grid (36 cells x 1000 trials)."""
+
+    def run_grid():
+        out = {}
+        for (n_rows, c) in TABLE1_PAPER:
+            for top_k in TABLE1_K_VALUES:
+                estimate = estimate_precision_monte_carlo(
+                    n_rows, c, 8, top_k, trials=1000, seed=0
+                )
+                out[(n_rows, c, top_k)] = estimate.mean
+        return out
+
+    grid = benchmark(run_grid)
+    # Reproduction check: every cell within MC noise of the paper.
+    for (n_rows, c), paper_row in TABLE1_PAPER.items():
+        for top_k, paper_value in zip(TABLE1_K_VALUES, paper_row):
+            assert grid[(n_rows, c, top_k)] == pytest.approx(paper_value, abs=0.01)
+
+
+def test_closed_form_grid(benchmark):
+    """The closed-form (hypergeometric) variant of the same grid."""
+
+    def run_grid():
+        return {
+            (n_rows, c, top_k): expected_precision(n_rows, c, 8, top_k)
+            for (n_rows, c) in TABLE1_PAPER
+            for top_k in TABLE1_K_VALUES
+        }
+
+    grid = benchmark(run_grid)
+    assert grid[(10**6, 16, 100)] == pytest.approx(0.942, abs=0.006)
+    assert grid[(10**7, 32, 100)] == pytest.approx(0.998, abs=0.002)

@@ -1,0 +1,50 @@
+"""Benchmark + reproduction: Table II (resources, clock, power)."""
+
+import pytest
+
+from repro.experiments.paper_data import TABLE2_PAPER
+from repro.hw.design import PAPER_DESIGNS
+from repro.hw.power import estimate_fpga_power_w
+from repro.hw.resources import ResourceModel
+
+
+def test_full_table2_model(benchmark):
+    """Evaluate utilisation, clock and power for all four designs."""
+    model = ResourceModel()
+
+    def run_table():
+        out = {}
+        for key, design in PAPER_DESIGNS.items():
+            out[key] = (
+                model.utilization(design),
+                design.resolved_clock_mhz,
+                estimate_fpga_power_w(design),
+            )
+        return out
+
+    table = benchmark(run_table)
+    for key, paper in TABLE2_PAPER.items():
+        util, clock, power = table[key]
+        for resource in ("LUT", "FF", "BRAM", "URAM", "DSP"):
+            assert util[resource] == pytest.approx(paper[resource], abs=0.02)
+        assert clock == paper["clock_mhz"]
+        assert power == pytest.approx(paper["power_w"], abs=1.0)
+
+
+def test_design_space_sweep(benchmark):
+    """Resource model over a 48-point design space (the DSE workload)."""
+    from repro.hw.design import AcceleratorDesign
+
+    model = ResourceModel()
+    designs = [
+        AcceleratorDesign(name=f"{v}b{c}", value_bits=v, cores=c, local_k=k)
+        for v in (16, 20, 25, 32)
+        for c in (8, 16, 32)
+        for k in (4, 8, 16, 32)
+    ]
+
+    def sweep():
+        return [model.total(d) for d in designs]
+
+    totals = benchmark(sweep)
+    assert len(totals) == len(designs)

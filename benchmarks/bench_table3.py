@@ -1,0 +1,35 @@
+"""Benchmark + reproduction: Table III (workload generation and sizing)."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import spec_by_name
+from repro.formats.layout import solve_layout
+from repro.formats.stats import stats_from_row_lengths
+
+
+def test_row_length_generation_paper_scale(benchmark):
+    """Sample the 10^7-row row-length profile of one Table III matrix."""
+    spec = spec_by_name("uniform-10M-M1024-nnz20")
+    lengths = benchmark(spec.row_lengths, 0)
+    assert len(lengths) == 10_000_000
+    assert lengths.sum() == pytest.approx(2e8, rel=0.01)
+
+
+def test_gamma_profile_generation(benchmark):
+    """The skewed Γ(3, 4/3) profile used by half the evaluation matrices."""
+    spec = spec_by_name("gamma-10M-M1024-nnz20")
+    lengths = benchmark(spec.row_lengths, 0)
+    assert lengths.mean() == pytest.approx(20, rel=0.02)
+
+
+def test_bscsr_sizing_1m_rows(benchmark):
+    """Exact packing statistics for 10^6 rows (the sizing workload)."""
+    rng = np.random.default_rng(1)
+    lengths = rng.integers(10, 31, size=1_000_000)
+    layout = solve_layout(1024, 20)
+
+    stats = benchmark(stats_from_row_lengths, lengths, layout, 7)
+    # BS-CSR byte size ~ nnz/15 x 64 B -> ~4.27 bytes/nnz, as in Table III.
+    bytes_per_nnz = stats.bytes_streamed / stats.nnz
+    assert bytes_per_nnz == pytest.approx(64 / 15, rel=0.01)

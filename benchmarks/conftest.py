@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+Every ``bench_*`` module regenerates one table/figure of the paper; the
+benchmark clock measures the reproduction kernel and the assertions after
+each ``benchmark(...)`` call check the paper-vs-measured agreement, so a
+green benchmark run doubles as a reproduction run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import synthetic_embeddings, uniform_row_lengths
+from repro.utils.rng import sample_unit_queries
+
+
+@pytest.fixture(scope="session")
+def bench_matrix():
+    """A 30 000 x 1024 matrix used across functional benchmarks."""
+    return synthetic_embeddings(
+        n_rows=30_000, n_cols=1024, avg_nnz=20, distribution="uniform", seed=99
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_query(bench_matrix):
+    """One normalised query for the functional benchmarks."""
+    return sample_unit_queries(np.random.default_rng(3), 1, bench_matrix.n_cols)[0]
+
+
+@pytest.fixture(scope="session")
+def paper_scale_lengths():
+    """Row lengths of a 10^7-row, ~3x10^8-nnz matrix (Figure 5 scale)."""
+    return uniform_row_lengths(10_000_000, 30, 0)

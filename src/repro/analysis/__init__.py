@@ -1,0 +1,41 @@
+"""Analysis utilities: accuracy metrics, roofline model, speedup accounting."""
+
+from repro.analysis.metrics import (
+    precision_at_k,
+    kendall_tau,
+    ndcg_at_k,
+    TopKAccuracy,
+    evaluate_topk,
+)
+from repro.analysis.roofline import (
+    RooflinePoint,
+    bandwidth_ceiling,
+    fpga_scaling_series,
+    platform_comparison_points,
+)
+from repro.analysis.speedup import speedup_table, power_efficiency_ratio
+from repro.analysis.reporting import ExperimentReport, paper_vs_measured_table
+from repro.analysis.sensitivity import (
+    SensitivityResult,
+    headline_speedups,
+    sweep_constant,
+)
+
+__all__ = [
+    "precision_at_k",
+    "kendall_tau",
+    "ndcg_at_k",
+    "TopKAccuracy",
+    "evaluate_topk",
+    "RooflinePoint",
+    "bandwidth_ceiling",
+    "fpga_scaling_series",
+    "platform_comparison_points",
+    "speedup_table",
+    "power_efficiency_ratio",
+    "ExperimentReport",
+    "paper_vs_measured_table",
+    "SensitivityResult",
+    "headline_speedups",
+    "sweep_constant",
+]

@@ -1,0 +1,135 @@
+"""Recommender-system accuracy metrics (Figure 7, Section V-D).
+
+The paper evaluates approximation quality with Precision, Kendall's τ and
+NDCG (Shani & Gunawardana's definitions):
+
+* **Precision@K** — fraction of the true Top-K items retrieved; order-blind.
+* **Kendall's τ** — rank correlation between the retrieved ordering and the
+  true ordering (order-sensitive).
+* **NDCG@K** — discounted cumulative gain of the retrieved list against the
+  ideal list, with graded relevance = the true similarity score
+  (order-sensitive, top-weighted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.core.reference import TopKResult
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["precision_at_k", "kendall_tau", "ndcg_at_k", "TopKAccuracy", "evaluate_topk"]
+
+
+def _as_id_array(ids) -> np.ndarray:
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.ndim != 1:
+        raise ConfigurationError(f"id list must be 1-D, got shape {ids.shape}")
+    if len(np.unique(ids)) != len(ids):
+        raise ConfigurationError("id list contains duplicates")
+    return ids
+
+
+def precision_at_k(retrieved_ids, true_ids) -> float:
+    """|retrieved ∩ true| / |true| — the paper's Precision metric.
+
+    Does not penalise out-of-order results (Section V-D).
+    """
+    retrieved = _as_id_array(retrieved_ids)
+    true = _as_id_array(true_ids)
+    if len(true) == 0:
+        return 1.0
+    overlap = len(np.intersect1d(retrieved, true, assume_unique=True))
+    return overlap / len(true)
+
+
+def kendall_tau(retrieved_ids, true_ids) -> float:
+    """Kendall's τ between the two rankings, over their common items.
+
+    Items appearing in only one list carry no pairwise order information, so
+    τ is computed on the intersection's rank vectors.  Degenerate cases
+    (fewer than two common items) return 1.0 when the lists agree trivially
+    and 0.0 when they share nothing.
+    """
+    retrieved = _as_id_array(retrieved_ids)
+    true = _as_id_array(true_ids)
+    common = np.intersect1d(retrieved, true, assume_unique=True)
+    if len(common) == 0:
+        return 0.0 if len(retrieved) and len(true) else 1.0
+    if len(common) == 1:
+        return 1.0
+    rank_retrieved = {int(r): i for i, r in enumerate(retrieved)}
+    rank_true = {int(r): i for i, r in enumerate(true)}
+    a = np.array([rank_retrieved[int(c)] for c in common])
+    b = np.array([rank_true[int(c)] for c in common])
+    tau = scipy_stats.kendalltau(a, b).statistic
+    if np.isnan(tau):  # constant ranks (cannot happen with distinct ids)
+        return 1.0
+    # Clamp floating-point residue (scipy can return 1 - 1e-16 for
+    # identical rankings).
+    return float(np.clip(tau, -1.0, 1.0))
+
+
+def ndcg_at_k(retrieved_ids, ideal: TopKResult, gains: np.ndarray, k: int) -> float:
+    """NDCG@k with graded relevance taken from the true score vector.
+
+    Parameters
+    ----------
+    retrieved_ids:
+        The approximate ranking (best first).
+    ideal:
+        The exact Top-K result (defines the ideal DCG).
+    gains:
+        Full true score vector ``y`` (relevance of any retrieved id).
+    k:
+        Evaluation depth.
+    """
+    k = check_positive_int(k, "k")
+    retrieved = _as_id_array(retrieved_ids)[:k]
+    gains = np.asarray(gains, dtype=np.float64)
+    ideal_gains = ideal.values[:k]
+    if len(ideal_gains) == 0:
+        return 1.0
+    discounts = 1.0 / np.log2(np.arange(2, len(retrieved) + 2))
+    dcg = float((gains[retrieved] * discounts).sum()) if len(retrieved) else 0.0
+    ideal_discounts = 1.0 / np.log2(np.arange(2, len(ideal_gains) + 2))
+    idcg = float((ideal_gains * ideal_discounts).sum())
+    if idcg <= 0.0:
+        return 1.0
+    return min(1.0, dcg / idcg)
+
+
+@dataclass(frozen=True)
+class TopKAccuracy:
+    """The Figure 7 metric triple for one query."""
+
+    precision: float
+    kendall: float
+    ndcg: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Metric name → value (report-friendly)."""
+        return {"precision": self.precision, "kendall": self.kendall, "ndcg": self.ndcg}
+
+
+def evaluate_topk(
+    approx: TopKResult,
+    exact: TopKResult,
+    true_scores: np.ndarray,
+    k: int | None = None,
+) -> TopKAccuracy:
+    """Evaluate an approximate Top-K result against the golden reference."""
+    if k is None:
+        k = len(exact)
+    k = check_positive_int(k, "k")
+    approx_ids = approx.indices[:k]
+    exact_ids = exact.indices[:k]
+    return TopKAccuracy(
+        precision=precision_at_k(approx_ids, exact_ids),
+        kendall=kendall_tau(approx_ids, exact_ids),
+        ndcg=ndcg_at_k(approx_ids, exact.head(k), true_scores, k),
+    )

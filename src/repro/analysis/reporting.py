@@ -1,0 +1,86 @@
+"""Uniform paper-vs-measured reporting for the experiment harness.
+
+Every experiment runner returns an :class:`ExperimentReport`: structured
+data plus rendered ASCII tables in which each paper-reported value sits next
+to the reproduced one.  ``EXPERIMENTS.md`` is assembled from these reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import ConfigurationError
+from repro.utils.tables import format_cell, format_table
+
+__all__ = ["ExperimentReport", "paper_vs_measured_table", "ratio_string"]
+
+
+def ratio_string(paper: float | None, measured: float | None) -> str:
+    """measured/paper as a compact string ('—' when either side is missing)."""
+    if paper is None or measured is None or paper == 0:
+        return "—"
+    return f"{measured / paper:.2f}x"
+
+
+def paper_vs_measured_table(
+    rows: Sequence[tuple[str, float | None, float | None]],
+    title: str,
+    value_name: str = "value",
+    float_digits: int = 3,
+) -> str:
+    """Render (label, paper, measured) triples with a measured/paper column."""
+    body = []
+    for label, paper, measured in rows:
+        body.append(
+            [
+                label,
+                format_cell(paper, float_digits),
+                format_cell(measured, float_digits),
+                ratio_string(paper, measured),
+            ]
+        )
+    return format_table(
+        ["metric", f"paper {value_name}", f"measured {value_name}", "measured/paper"],
+        body,
+        title=title,
+    )
+
+
+@dataclass
+class ExperimentReport:
+    """Structured result of one reproduced table/figure."""
+
+    experiment_id: str
+    title: str
+    sections: list[str] = field(default_factory=list)
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def add_section(self, text: str) -> None:
+        """Append a rendered block (table or note) to the report."""
+        if not text:
+            raise ConfigurationError("cannot add an empty report section")
+        self.sections.append(text)
+
+    def add_table(
+        self,
+        headers: Sequence[str],
+        rows: Sequence[Sequence[Any]],
+        title: str | None = None,
+        float_digits: int = 3,
+    ) -> None:
+        """Render and append a table."""
+        self.add_section(format_table(headers, rows, title=title, float_digits=float_digits))
+
+    def render(self) -> str:
+        """Full plain-text report."""
+        header = f"{self.experiment_id}: {self.title}"
+        rule = "#" * len(header)
+        blocks = [rule, header, rule, ""]
+        for section in self.sections:
+            blocks.append(section)
+            blocks.append("")
+        return "\n".join(blocks).rstrip() + "\n"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.render()

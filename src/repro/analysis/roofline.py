@@ -1,0 +1,169 @@
+"""Roofline model of Top-K SpMV (Figure 6, Section V-C).
+
+The paper follows the CAD-driven roofline methodology of Siracusa et al.:
+for a memory-bound streaming kernel, attainable performance (non-zeros per
+second) is bounded by ``operational_intensity x bandwidth``, with
+
+* operational intensity (OI) = non-zeros per byte streamed — a pure function
+  of the storage format (BS-CSR with B lanes per 64-byte packet gives
+  ``B/64``; naïve COO gives 5/64; CSR on CPU/GPU gives 1/(bytes-per-nnz));
+* the bandwidth ceiling = per-channel streaming bandwidth x channels for the
+  FPGA (13.2 GB/s per core, Figure 6a), or the platform's effective
+  bandwidth for CPU/GPU.
+
+Figure 6a shows the FPGA scaling linearly in cores and gaining 3x OI from
+BS-CSR (B=15 vs B=5); Figure 6b shows the FPGA beating CPU and GPU on both
+axes despite the GPU's 20% higher peak bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.cpu import CpuTimingModel
+from repro.baselines.gpu import GpuTimingModel
+from repro.errors import ConfigurationError
+from repro.hw.design import AcceleratorDesign
+from repro.hw.hbm import ALVEO_U280_HBM, HBMConfig
+from repro.hw.multicore import TopKSpmvAccelerator
+
+__all__ = [
+    "RooflinePoint",
+    "bandwidth_ceiling",
+    "fpga_scaling_series",
+    "platform_comparison_points",
+]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One platform/configuration on the roofline plane."""
+
+    name: str
+    operational_intensity: float  # non-zeros per byte
+    performance: float  # non-zeros per second (attained)
+    bandwidth_bps: float  # bandwidth ceiling of this configuration
+
+    def __post_init__(self) -> None:
+        if self.operational_intensity < 0 or self.performance < 0 or self.bandwidth_bps <= 0:
+            raise ConfigurationError(f"invalid roofline point: {self}")
+
+    @property
+    def ceiling(self) -> float:
+        """Attainable performance at this OI: ``OI x bandwidth``."""
+        return self.operational_intensity * self.bandwidth_bps
+
+    @property
+    def ceiling_fraction(self) -> float:
+        """Fraction of the roofline ceiling actually attained."""
+        if self.ceiling == 0.0:
+            return 0.0
+        return self.performance / self.ceiling
+
+
+def bandwidth_ceiling(operational_intensity: float, bandwidth_bps: float) -> float:
+    """Roofline ceiling: performance bound at a given OI and bandwidth."""
+    if operational_intensity < 0 or bandwidth_bps <= 0:
+        raise ConfigurationError(
+            f"invalid roofline query: OI={operational_intensity}, bw={bandwidth_bps}"
+        )
+    return operational_intensity * bandwidth_bps
+
+
+def fpga_scaling_series(
+    design: AcceleratorDesign,
+    core_counts: "list[int]",
+    avg_nnz_per_packet: float | None = None,
+    hbm: HBMConfig = ALVEO_U280_HBM,
+) -> list[RooflinePoint]:
+    """Figure 6a: one roofline point per core count (1/8/16/32 in the paper).
+
+    The ceiling uses the *streaming* per-channel bandwidth (13.2 GB/s);
+    the attained performance uses the timing model's sustained rate, so the
+    points sit below their ceilings by the measured sustained fraction.
+    """
+    lanes = design.layout.lanes
+    packet_bytes = design.layout.packet_bytes
+    if avg_nnz_per_packet is None:
+        avg_nnz_per_packet = float(lanes)
+    if not 0 < avg_nnz_per_packet <= lanes:
+        raise ConfigurationError(
+            f"avg_nnz_per_packet must be in (0, {lanes}], got {avg_nnz_per_packet}"
+        )
+    oi = avg_nnz_per_packet / packet_bytes
+    points = []
+    for cores in core_counts:
+        scaled = design.with_cores(cores)
+        accel = TopKSpmvAccelerator(scaled, hbm)
+        perf = (
+            accel.core_model.packet_rate * avg_nnz_per_packet * cores
+        )
+        points.append(
+            RooflinePoint(
+                name=f"{cores} cores, {hbm.aggregate_streaming_gbps(cores):.1f} GB/s",
+                operational_intensity=oi,
+                performance=perf,
+                bandwidth_bps=hbm.aggregate_streaming_gbps(cores) * 1e9,
+            )
+        )
+    return points
+
+
+def platform_comparison_points(
+    nnz: int,
+    n_rows: int,
+    designs: "list[AcceleratorDesign]",
+    avg_nnz_per_packet: dict[str, float] | None = None,
+    hbm: HBMConfig = ALVEO_U280_HBM,
+) -> list[RooflinePoint]:
+    """Figure 6b: CPU, GPU (F32/F16) and FPGA designs on one roofline plane.
+
+    ``avg_nnz_per_packet`` optionally maps design names to achieved packing
+    density (defaults to dense packets).
+    """
+    points: list[RooflinePoint] = []
+
+    cpu = CpuTimingModel()
+    cpu_bytes = cpu.bytes_touched(nnz, n_rows)
+    points.append(
+        RooflinePoint(
+            name="CPU Top-K SpMV",
+            operational_intensity=nnz / cpu_bytes,
+            performance=cpu.throughput_nnz_per_s(nnz, n_rows),
+            bandwidth_bps=cpu.spec.peak_bandwidth_gbps * 1e9,
+        )
+    )
+
+    gpu = GpuTimingModel()
+    for precision in ("float32", "float16"):
+        gpu_bytes = gpu.spmv_bytes(nnz, n_rows, precision)
+        points.append(
+            RooflinePoint(
+                name=f"GPU SpMV, {precision}",
+                operational_intensity=nnz / gpu_bytes,
+                performance=gpu.throughput_nnz_per_s(
+                    nnz, n_rows, precision, zero_cost_sort=True
+                ),
+                bandwidth_bps=gpu.spec.peak_bandwidth_gbps * 1e9,
+            )
+        )
+
+    for design in designs:
+        accel = TopKSpmvAccelerator(design, hbm)
+        lanes = design.layout.lanes
+        density = float(lanes)
+        if avg_nnz_per_packet and design.name in avg_nnz_per_packet:
+            density = avg_nnz_per_packet[design.name]
+        oi = density / design.layout.packet_bytes
+        perf = accel.core_model.packet_rate * density * design.cores
+        points.append(
+            RooflinePoint(
+                name=design.name,
+                operational_intensity=oi,
+                performance=perf,
+                bandwidth_bps=hbm.aggregate_streaming_gbps(design.cores) * 1e9,
+            )
+        )
+    return points

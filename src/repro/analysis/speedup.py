@@ -1,0 +1,48 @@
+"""Speedup and power-efficiency accounting (Figure 5, Section V-B)."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hw.power import PowerBudget
+
+__all__ = ["speedup_table", "power_efficiency_ratio"]
+
+
+def speedup_table(times_s: dict[str, float], baseline: str) -> dict[str, float]:
+    """Speedup of every platform against the named baseline.
+
+    This is how Figure 5's bars are computed: ``speedup = t_baseline / t``.
+    """
+    if baseline not in times_s:
+        raise ConfigurationError(
+            f"baseline {baseline!r} missing from times: {sorted(times_s)}"
+        )
+    base = times_s[baseline]
+    if base <= 0:
+        raise ConfigurationError(f"baseline time must be > 0, got {base}")
+    out = {}
+    for name, t in times_s.items():
+        if t <= 0:
+            raise ConfigurationError(f"time for {name!r} must be > 0, got {t}")
+        out[name] = base / t
+    return out
+
+
+def power_efficiency_ratio(
+    throughput_a: float,
+    budget_a: PowerBudget,
+    throughput_b: float,
+    budget_b: PowerBudget,
+    include_host: bool = False,
+) -> float:
+    """Performance/Watt of platform A relative to platform B.
+
+    Reproduces Section V-B's claims: the 20-bit FPGA design is ~400x the
+    CPU's efficiency and 14.2x the (idealized) GPU's — 7.7x when both sides
+    include an equal host machine.
+    """
+    if min(throughput_a, throughput_b) <= 0:
+        raise ConfigurationError("throughputs must be > 0")
+    watts_a = budget_a.total_w if include_host else budget_a.device_w
+    watts_b = budget_b.total_w if include_host else budget_b.device_w
+    return (throughput_a / watts_a) / (throughput_b / watts_b)

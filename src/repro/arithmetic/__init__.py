@@ -1,0 +1,33 @@
+"""Reduced-precision arithmetic models.
+
+The FPGA designs in the paper use unsigned fixed point (Q1.31, Q1.24, Q1.19)
+for matrix values and products; the GPU baseline uses IEEE float32/float16.
+This package provides bit-faithful quantisation for both so that accuracy
+experiments (Figure 7) reproduce the paper's precision behaviour.
+"""
+
+from repro.arithmetic.fixed_point import (
+    FixedPointFormat,
+    Q1_19,
+    Q1_24,
+    Q1_31,
+    PAPER_FIXED_POINT_FORMATS,
+)
+from repro.arithmetic.float_formats import (
+    FloatFormat,
+    FLOAT16,
+    FLOAT32,
+    quantize_float,
+)
+
+__all__ = [
+    "FixedPointFormat",
+    "Q1_19",
+    "Q1_24",
+    "Q1_31",
+    "PAPER_FIXED_POINT_FORMATS",
+    "FloatFormat",
+    "FLOAT16",
+    "FLOAT32",
+    "quantize_float",
+]

@@ -1,0 +1,213 @@
+"""Value codecs: map real matrix values to the raw bit codes stored in BS-CSR.
+
+A BS-CSR packet stores each non-zero value in a ``val`` field of V bits.
+The paper evaluates three unsigned fixed-point widths (20/25/32 bits) and one
+float32 design.  A :class:`ValueCodec` abstracts "V bits on the wire"
+from "how those bits map to a real number", so the packet encoder/decoder is
+agnostic to the arithmetic type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arithmetic.fixed_point import FixedPointFormat, PAPER_FIXED_POINT_FORMATS
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ValueCodec",
+    "FixedPointCodec",
+    "OffsetBinaryCodec",
+    "Float32Codec",
+    "ExactCodec",
+    "codec_for_design",
+]
+
+
+class ValueCodec:
+    """Interface for encoding real values into fixed-width raw codes."""
+
+    #: Field width in bits of one encoded value.
+    bits: int
+    #: Stable identifier used in reports and design names.
+    name: str
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Map real values to unsigned integer codes of width ``bits``."""
+        raise NotImplementedError
+
+    def decode(self, raw: np.ndarray) -> np.ndarray:
+        """Map unsigned integer codes back to float64 values."""
+        raise NotImplementedError
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round-trip values through the codec (the value the hardware sees)."""
+        return self.decode(self.encode(values))
+
+
+@dataclass(frozen=True)
+class FixedPointCodec(ValueCodec):
+    """Codec for unsigned Qm.n fixed point (the paper's 20/25/32-bit designs)."""
+
+    fmt: FixedPointFormat
+
+    def __post_init__(self) -> None:
+        if self.fmt.signed:
+            # Signed support exists in FixedPointFormat for extensions, but the
+            # BS-CSR wire format in the paper is unsigned; two's-complement
+            # packing would need explicit sign handling in bitpack.
+            raise ConfigurationError("BS-CSR value codec requires an unsigned format")
+
+    @property
+    def bits(self) -> int:  # type: ignore[override]
+        return self.fmt.total_bits
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"fixed{self.fmt.total_bits}"
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        return self.fmt.to_raw(values).astype(np.uint64)
+
+    def decode(self, raw: np.ndarray) -> np.ndarray:
+        return np.asarray(raw, dtype=np.float64) / self.fmt.scale
+
+
+@dataclass(frozen=True)
+class OffsetBinaryCodec(ValueCodec):
+    """Codec for *signed* fixed point via offset-binary (excess) encoding.
+
+    The paper's designs are unsigned, but signed embeddings (e.g. raw GloVe
+    coefficients without a non-negativity constraint) are a natural
+    extension.  Two's-complement codes cannot be bit-packed as plain
+    unsigned fields, so the wire code is ``raw - min_raw`` (offset binary).
+    Note the padding code for value 0.0 is then non-zero — the encoder asks
+    the codec for its padding code instead of assuming 0 (see
+    :func:`repro.formats.bscsr.encode_bscsr`).
+    """
+
+    fmt: FixedPointFormat
+
+    def __post_init__(self) -> None:
+        if not self.fmt.signed:
+            raise ConfigurationError(
+                "OffsetBinaryCodec requires a signed format; use FixedPointCodec "
+                "for unsigned values"
+            )
+
+    @property
+    def bits(self) -> int:  # type: ignore[override]
+        return self.fmt.total_bits
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"offset{self.fmt.total_bits}"
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        raw = self.fmt.to_raw(values)
+        return (raw - self.fmt.min_raw).astype(np.uint64)
+
+    def decode(self, raw: np.ndarray) -> np.ndarray:
+        codes = np.asarray(raw, dtype=np.int64) + self.fmt.min_raw
+        return codes.astype(np.float64) / self.fmt.scale
+
+
+@dataclass(frozen=True)
+class Float32Codec(ValueCodec):
+    """Codec storing IEEE float32 bit patterns (the paper's F32 design)."""
+
+    @property
+    def bits(self) -> int:  # type: ignore[override]
+        return 32
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "float32"
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        as_f32 = np.asarray(values, dtype=np.float32)
+        return as_f32.view(np.uint32).astype(np.uint64)
+
+    def decode(self, raw: np.ndarray) -> np.ndarray:
+        codes = np.asarray(raw, dtype=np.uint64).astype(np.uint32)
+        return codes.view(np.float32).astype(np.float64)
+
+
+@dataclass(frozen=True)
+class ExactCodec(ValueCodec):
+    """Lossless pass-through codec (float64 bit patterns, 64-bit codes).
+
+    Used by tests and by the "algorithmic" simulation path to isolate the
+    effect of the partitioned approximation from quantisation error.  Only
+    layouts with 64-bit value fields can serialise it to the wire format.
+    """
+
+    @property
+    def bits(self) -> int:  # type: ignore[override]
+        return 64
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "exact"
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64).view(np.uint64)
+
+    def decode(self, raw: np.ndarray) -> np.ndarray:
+        return np.asarray(raw, dtype=np.uint64).view(np.float64)
+
+
+def codec_from_name(name: str) -> ValueCodec:
+    """Reconstruct a codec from its stable ``name`` (inverse of ``codec.name``).
+
+    Used by the persistence layer (:mod:`repro.formats.io`) to rebuild the
+    codec of a stored stream: ``fixed20``, ``offset25``, ``float32``,
+    ``exact``.
+    """
+    if name == "exact":
+        return ExactCodec()
+    if name == "float32":
+        return Float32Codec()
+    for prefix, arithmetic in (("fixed", "fixed"), ("offset", "signed")):
+        if name.startswith(prefix) and name[len(prefix):].isdigit():
+            return codec_for_design(int(name[len(prefix):]), arithmetic)
+    raise ConfigurationError(f"unknown codec name {name!r}")
+
+
+def codec_for_design(value_bits: int, arithmetic: str) -> ValueCodec:
+    """Return the codec used by a design point.
+
+    Parameters
+    ----------
+    value_bits:
+        Storage width of one value (20, 25 or 32 for fixed point; 32 for float).
+    arithmetic:
+        ``"fixed"`` (unsigned, as in the paper), ``"signed"`` (the
+        offset-binary extension) or ``"float"``.
+    """
+    if arithmetic == "fixed":
+        try:
+            fmt = PAPER_FIXED_POINT_FORMATS[value_bits]
+        except KeyError:
+            fmt = FixedPointFormat(integer_bits=1, fraction_bits=value_bits - 1, signed=False)
+        return FixedPointCodec(fmt)
+    if arithmetic == "signed":
+        if value_bits < 3:
+            raise ConfigurationError(
+                f"signed designs need at least 3 bits, got {value_bits}"
+            )
+        fmt = FixedPointFormat(
+            integer_bits=1, fraction_bits=value_bits - 2, signed=True
+        )
+        return OffsetBinaryCodec(fmt)
+    if arithmetic == "float":
+        if value_bits != 32:
+            raise ConfigurationError(
+                f"float designs require 32-bit values, got {value_bits}"
+            )
+        return Float32Codec()
+    raise ConfigurationError(
+        f"arithmetic must be 'fixed', 'signed' or 'float', got {arithmetic!r}"
+    )

@@ -1,0 +1,30 @@
+"""CPU and GPU baselines the paper compares against (Section V).
+
+* :mod:`repro.baselines.cpu` — the multi-threaded ``sparse_dot_topn`` C++
+  CSR implementation on 2x Intel Xeon Gold 6248, reproduced functionally
+  (SciPy CSR + per-row Top-K) with a calibrated bandwidth timing model.
+* :mod:`repro.baselines.gpu` — cuSPARSE SpMV (float32/float16) + Thrust
+  radix sort on a Tesla P100, reproduced functionally (NumPy reduced
+  precision) with a bandwidth timing model; includes the paper's
+  "idealized zero-cost sorting" variant.
+"""
+
+from repro.baselines.cpu import CpuTopKSpmv, CpuTimingModel, CPU_XEON_6248_PAIR
+from repro.baselines.gpu import (
+    GpuTopKSpmv,
+    GpuTimingModel,
+    GpuSpec,
+    TESLA_P100,
+    TESLA_A100,
+)
+
+__all__ = [
+    "CpuTopKSpmv",
+    "CpuTimingModel",
+    "CPU_XEON_6248_PAIR",
+    "GpuTopKSpmv",
+    "GpuTimingModel",
+    "GpuSpec",
+    "TESLA_P100",
+    "TESLA_A100",
+]

@@ -1,0 +1,148 @@
+"""GPU baseline: cuSPARSE SpMV + Thrust radix sort on a Tesla P100.
+
+The paper knows no GPU Top-K SpMV, so it composes cuSPARSE CSR SpMV (float32
+and float16) with a full radix sort of the output vector, and additionally
+reports an *idealized* variant where sorting is free ("as if cuSPARSE
+already retrieved Top-K values at no cost").
+
+Functional path: NumPy float32/float16 value quantisation with float32
+accumulation (cuSPARSE behaviour for fp16 inputs), then an exact sort —
+bit-faithful for the Figure 7 accuracy comparison.
+
+Timing path: SpMV is bandwidth-bound; per-precision efficiencies and the
+sort throughput are fitted to Figure 5's GPU bars (~51x/58x vs CPU for
+N=1e7, "7x" total FPGA advantage when sorting is included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arithmetic.float_formats import FLOAT16, FLOAT32
+from repro.core.reference import TopKResult, topk_from_scores
+from repro.errors import ConfigurationError
+from repro.formats.csr import CSRMatrix
+from repro.hw.calibration import CALIBRATION, CalibrationConstants
+from repro.utils.validation import check_one_of, check_positive_int
+
+__all__ = ["GpuSpec", "TESLA_P100", "TESLA_A100", "GpuTopKSpmv", "GpuTimingModel"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A GPU platform for the timing model."""
+
+    name: str
+    peak_bandwidth_gbps: float
+    power_w: float
+
+
+#: The paper's GPU (549 GB/s HBM2, 250 W).
+TESLA_P100 = GpuSpec(name="Tesla P100", peak_bandwidth_gbps=549.0, power_w=250.0)
+
+#: The paper's "even faster GPU" projection target (Section V-A).
+TESLA_A100 = GpuSpec(name="Tesla A100", peak_bandwidth_gbps=1555.0, power_w=400.0)
+
+_BYTES_PER_NNZ = {"float32": 8, "float16": 6}  # value + 4-byte column index
+
+
+class GpuTopKSpmv:
+    """Functional GPU Top-K SpMV: reduced-precision SpMV + exact sort."""
+
+    def __init__(self, matrix: CSRMatrix, precision: str = "float32"):
+        """
+        Parameters
+        ----------
+        matrix:
+            The embedding collection.
+        precision:
+            ``"float32"`` or ``"float16"`` — storage precision of matrix
+            values and of the dense vector, as in the paper's two GPU
+            configurations.  Accumulation is float32 in both cases.
+        """
+        check_one_of(precision, "precision", tuple(_BYTES_PER_NNZ))
+        self.precision = precision
+        fmt = FLOAT16 if precision == "float16" else FLOAT32
+        self.matrix = matrix.with_data(fmt.quantize(matrix.data))
+        self._scipy = self.matrix.to_scipy().astype(np.float32)
+        self._fmt = fmt
+
+    def scores(self, x: np.ndarray) -> np.ndarray:
+        """The full output vector ``y`` as the GPU would compute it.
+
+        Values and the dense vector are quantised to the configured
+        precision; accumulation happens in float32 (cuSPARSE behaviour).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.matrix.n_cols,):
+            raise ConfigurationError(
+                f"x must have shape ({self.matrix.n_cols},), got {x.shape}"
+            )
+        x_quant = self._fmt.quantize(x).astype(np.float32)
+        return np.asarray(self._scipy @ x_quant, dtype=np.float64).ravel()
+
+    def query(self, x: np.ndarray, top_k: int) -> TopKResult:
+        """SpMV in reduced precision, float32 accumulation, exact Top-K."""
+        top_k = check_positive_int(top_k, "top_k")
+        return topk_from_scores(self.scores(x), top_k)
+
+
+@dataclass(frozen=True)
+class GpuTimingModel:
+    """Calibrated bandwidth + sort model of the GPU Top-K SpMV pipeline."""
+
+    spec: GpuSpec = TESLA_P100
+    constants: CalibrationConstants = CALIBRATION
+
+    def efficiency(self, precision: str) -> float:
+        """SpMV bandwidth efficiency for the given precision."""
+        check_one_of(precision, "precision", tuple(_BYTES_PER_NNZ))
+        if precision == "float16":
+            return self.constants.gpu_efficiency_float16
+        return self.constants.gpu_efficiency_float32
+
+    def spmv_bytes(self, nnz: int, n_rows: int, precision: str) -> int:
+        """Traffic of one CSR SpMV: values+indices, row pointers, y write."""
+        if nnz < 0 or n_rows < 0:
+            raise ConfigurationError("nnz and n_rows must be >= 0")
+        return nnz * _BYTES_PER_NNZ[precision] + n_rows * 8
+
+    def spmv_time_s(self, nnz: int, n_rows: int, precision: str = "float32") -> float:
+        """SpMV-only time — the paper's idealized zero-cost-sort variant."""
+        bandwidth = self.spec.peak_bandwidth_gbps * 1e9 * self.efficiency(precision)
+        return (
+            self.constants.gpu_overhead_s
+            + self.spmv_bytes(nnz, n_rows, precision) / bandwidth
+        )
+
+    def sort_time_s(self, n_rows: int) -> float:
+        """Thrust radix sort of the full (value, index) output vector."""
+        if n_rows < 0:
+            raise ConfigurationError("n_rows must be >= 0")
+        return n_rows / self.constants.gpu_sort_pairs_per_s
+
+    def query_time_s(
+        self,
+        nnz: int,
+        n_rows: int,
+        precision: str = "float32",
+        zero_cost_sort: bool = False,
+    ) -> float:
+        """Full Top-K SpMV time (optionally with the idealized free sort)."""
+        t = self.spmv_time_s(nnz, n_rows, precision)
+        if not zero_cost_sort:
+            t += self.sort_time_s(n_rows)
+        return t
+
+    def throughput_nnz_per_s(
+        self,
+        nnz: int,
+        n_rows: int,
+        precision: str = "float32",
+        zero_cost_sort: bool = True,
+    ) -> float:
+        """Non-zeros per second (idealized by default, as in Figure 6)."""
+        t = self.query_time_s(nnz, n_rows, precision, zero_cost_sort)
+        return nnz / t if t > 0 else 0.0

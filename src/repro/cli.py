@@ -1,0 +1,103 @@
+"""Command-line interface: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro table1            # one experiment
+    python -m repro all               # everything (writes nothing)
+    python -m repro all -o EXPERIMENTS_RUN.md
+    python -m repro figure7 --quick   # reduced scale for a fast look
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS, ExperimentConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce tables and figures of 'Scaling up HBM Efficiency of "
+            "Top-K SpMV for Approximate Embedding Similarity on FPGAs' (DAC 2021)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="which experiment to regenerate",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced scale (fewer trials/queries/rows) for a fast run",
+    )
+    parser.add_argument(
+        "--paper-scale", action="store_true",
+        help="the paper's evaluation scale (30 queries; slower)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the root seed"
+    )
+    parser.add_argument(
+        "--rows", type=int, default=None,
+        help="override the functional matrix row count",
+    )
+    parser.add_argument(
+        "-o", "--output", type=str, default=None,
+        help="also write the report(s) to this file",
+    )
+    return parser
+
+
+def _make_config(args: argparse.Namespace) -> ExperimentConfig:
+    if args.quick and args.paper_scale:
+        raise SystemExit("--quick and --paper-scale are mutually exclusive")
+    if args.quick:
+        config = ExperimentConfig.quick()
+    elif args.paper_scale:
+        config = ExperimentConfig.paper()
+    else:
+        config = ExperimentConfig()
+    if args.seed is not None:
+        config = ExperimentConfig(
+            seed=args.seed,
+            monte_carlo_trials=config.monte_carlo_trials,
+            queries=config.queries,
+            functional_rows=config.functional_rows,
+        )
+    if args.rows is not None:
+        config = config.with_rows(args.rows)
+    return config
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    config = _make_config(args)
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    blocks = []
+    for name in names:
+        started = time.perf_counter()
+        report = ALL_EXPERIMENTS[name](config)
+        elapsed = time.perf_counter() - started
+        text = report.render()
+        blocks.append(text)
+        print(text)
+        print(f"[{name} completed in {elapsed:.1f}s]\n", file=sys.stderr)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(blocks))
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

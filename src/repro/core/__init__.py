@@ -1,0 +1,57 @@
+"""The paper's primary contribution: approximate partitioned Top-K SpMV.
+
+Modules
+-------
+``reference``
+    Exact (golden) Top-K SpMV used as ground truth everywhere.
+``partition``
+    Row partitioning across cores (Section III-A).
+``topk_tracker``
+    The k-entry argmin scratchpad each core keeps in LUTs (Section IV-B).
+``approx``
+    The partitioned approximation: per-partition top-k, merged (Figure 2).
+``precision_model``
+    Expected-precision theory + Monte Carlo estimation (Eq. 1, Table I).
+``dataflow``
+    Functional simulation of Algorithm 1 over BS-CSR packet streams.
+``engine``
+    High-level public API tying formats, cores and hardware models together.
+"""
+
+from repro.core.reference import TopKResult, exact_topk_spmv, topk_from_scores
+from repro.core.partition import RowPartition, partition_rows, partition_matrix
+from repro.core.topk_tracker import TopKTracker
+from repro.core.approx import approximate_topk_spmv, merge_topk_candidates
+from repro.core.precision_model import (
+    expected_precision,
+    expected_precision_union_bound,
+    estimate_precision_monte_carlo,
+    MonteCarloEstimate,
+)
+from repro.core.dataflow import DataflowCore, simulate_dataflow
+from repro.core.engine import TopKSpmvEngine, EngineResult, BatchResult
+from repro.core.adaptive import WorkloadProfile, DesignChoice, select_design
+
+__all__ = [
+    "TopKResult",
+    "exact_topk_spmv",
+    "topk_from_scores",
+    "RowPartition",
+    "partition_rows",
+    "partition_matrix",
+    "TopKTracker",
+    "approximate_topk_spmv",
+    "merge_topk_candidates",
+    "expected_precision",
+    "expected_precision_union_bound",
+    "estimate_precision_monte_carlo",
+    "MonteCarloEstimate",
+    "DataflowCore",
+    "simulate_dataflow",
+    "TopKSpmvEngine",
+    "EngineResult",
+    "BatchResult",
+    "WorkloadProfile",
+    "DesignChoice",
+    "select_design",
+]

@@ -1,0 +1,249 @@
+"""Functional simulation of the core's 4-stage dataflow (Algorithm 1).
+
+Each core consumes its BS-CSR packet stream one packet per cycle through
+four pipelined stages (Section IV-B):
+
+1. **Scatter** — read the packet's B lanes, fetch ``x[idx]`` from the
+   replicated URAM copies, compute B point-wise products.
+2. **Aggregation** — sum products between consecutive ``ptr`` boundaries
+   (per-row partial sums within the packet).
+3. **Summary** — cross-packet bookkeeping: merge the carried partial sum of
+   a row spanning packets (``new_row`` bit) and mark finished rows.
+4. **Top-K update** — offer every finished row to the k-entry argmin
+   scratchpad (:class:`repro.core.topk_tracker.TopKTracker`).
+
+The simulation is *functional* (value-exact, packet-ordered); cycle timing
+lives in :mod:`repro.hw.fpga_core`.  Arithmetic faithfulness: fixed-point
+designs accumulate exactly in hardware, which float64 reproduces for the
+paper's formats and row lengths; the float32 design accumulates in float32,
+reproduced here with NumPy float32 arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.reference import TopKResult
+from repro.core.topk_tracker import TopKTracker
+from repro.errors import ConfigurationError, SimulationError
+from repro.formats.bscsr import BSCSRMatrix, BSCSRStream
+from repro.utils.validation import check_positive_int
+
+__all__ = ["DataflowStats", "DataflowCore", "simulate_dataflow", "simulate_multicore"]
+
+
+@dataclass
+class DataflowStats:
+    """Counters collected while streaming packets through one core."""
+
+    packets: int = 0
+    rows_finished: int = 0
+    tracker_accepts: int = 0
+    max_rows_in_packet: int = 0
+    spanning_rows: int = 0
+
+    def merge(self, other: "DataflowStats") -> "DataflowStats":
+        """Combine counters from another core (for whole-accelerator totals)."""
+        return DataflowStats(
+            packets=self.packets + other.packets,
+            rows_finished=self.rows_finished + other.rows_finished,
+            tracker_accepts=self.tracker_accepts + other.tracker_accepts,
+            max_rows_in_packet=max(self.max_rows_in_packet, other.max_rows_in_packet),
+            spanning_rows=self.spanning_rows + other.spanning_rows,
+        )
+
+
+class DataflowCore:
+    """One FPGA core: streams a BS-CSR partition and tracks its local top-k."""
+
+    def __init__(
+        self,
+        local_k: int,
+        x: np.ndarray,
+        accumulate_dtype: np.dtype = np.float64,
+    ):
+        """
+        Parameters
+        ----------
+        local_k:
+            Scratchpad depth ``k`` (the paper uses 8).
+        x:
+            The dense query vector *as stored in URAM* — already quantised
+            by the caller to the design's query precision.
+        accumulate_dtype:
+            ``np.float64`` models exact fixed-point accumulation;
+            ``np.float32`` models the F32 design's floating-point adders.
+        """
+        self.local_k = check_positive_int(local_k, "local_k")
+        self.x = np.asarray(x, dtype=np.float64)
+        if self.x.ndim != 1:
+            raise ConfigurationError(f"x must be 1-D, got shape {self.x.shape}")
+        dtype = np.dtype(accumulate_dtype)
+        if dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ConfigurationError(
+                f"accumulate_dtype must be float64 or float32, got {dtype}"
+            )
+        self.accumulate_dtype = dtype
+
+    def run(self, stream: BSCSRStream) -> tuple[TopKResult, DataflowStats]:
+        """Stream every packet through the 4 stages; return local top-k and stats.
+
+        Local result indices are partition-local row ids.
+        """
+        if stream.n_cols > len(self.x):
+            raise ConfigurationError(
+                f"stream has {stream.n_cols} columns but URAM holds "
+                f"{len(self.x)} entries of x"
+            )
+        acc = self.accumulate_dtype
+        tracker = TopKTracker(self.local_k)
+        stats = DataflowStats()
+        values = stream.values().astype(acc)
+        x = self.x.astype(acc)
+
+        # Lanes of the row currently being accumulated (possibly spanning
+        # packets).  The row's value is a single balanced reduction over all
+        # its lanes — the hardware's adder tree; numerically identical to
+        # the reduceat segments of :meth:`run_fast`.
+        open_row_lanes: list[np.ndarray] = []
+        current_row = 0
+        for p in range(stream.n_packets):
+            stats.packets += 1
+            # Stage 1 — scatter: B parallel URAM reads and multipliers.
+            products = values[p] * x[stream.idx[p]]
+            # Stage 2/3 — aggregate between boundaries, handle the carry.
+            bounds = stream.ptr[p]
+            valid = bounds[bounds > 0].astype(np.int64)
+            if stream.new_row[p]:
+                open_row_lanes = []  # previous packet's tail was padding
+            else:
+                stats.spanning_rows += 1
+            stats.max_rows_in_packet = max(stats.max_rows_in_packet, len(valid))
+            prev = 0
+            for b in valid:
+                open_row_lanes.append(products[prev : int(b)])
+                row_lanes = np.concatenate(open_row_lanes)
+                row_value = np.add.reduceat(row_lanes, [0])[0]
+                # Stage 4 — Top-K scratchpad update for the finished row.
+                stats.rows_finished += 1
+                stats.tracker_accepts += tracker.insert(current_row, float(row_value))
+                open_row_lanes = []
+                current_row += 1
+                prev = int(b)
+            open_row_lanes.append(products[prev:])
+
+        if current_row != stream.n_rows:
+            raise SimulationError(
+                f"dataflow finished {current_row} rows, stream declares {stream.n_rows}"
+            )
+        return tracker.result(), stats
+
+    def run_fast(self, stream: BSCSRStream) -> tuple[TopKResult, DataflowStats]:
+        """Vectorised equivalent of :meth:`run` (same results, same tracker order).
+
+        Exploits two exactness properties of the format: padding lanes carry
+        value 0 (contribute nothing to any segment) and row boundaries are
+        strictly increasing global lane positions, so per-row values are
+        contiguous segment sums over the flattened lane stream —
+        ``np.add.reduceat`` in stream order reproduces the hardware's
+        accumulation order for both float64 and float32 models.  The Top-K
+        scratchpad is still applied sequentially (its replace-on-tie
+        behaviour is order-dependent).  Tests assert equality with
+        :meth:`run` packet by packet.
+        """
+        if stream.n_cols > len(self.x):
+            raise ConfigurationError(
+                f"stream has {stream.n_cols} columns but URAM holds "
+                f"{len(self.x)} entries of x"
+            )
+        acc = self.accumulate_dtype
+        tracker = TopKTracker(self.local_k)
+        stats = DataflowStats(packets=stream.n_packets)
+        if stream.n_packets == 0:
+            if stream.n_rows != 0:
+                raise SimulationError(
+                    f"empty stream declares {stream.n_rows} rows"
+                )
+            return tracker.result(), stats
+
+        lanes = stream.layout.lanes
+        values = stream.values().astype(acc)
+        x = self.x.astype(acc)
+        products = (values * x[stream.idx])
+
+        bounds = stream.ptr.astype(np.int64)
+        valid_mask = bounds > 0
+        # Drop padding lanes (after the last boundary of a packet whose
+        # successor starts a new row, and the final packet's tail).  The
+        # zeros would not change any sum's value, but they would change the
+        # pairwise-reduction tree shape and therefore the float32 rounding —
+        # the reference path never feeds them to the adder tree.
+        last_bound = bounds.max(axis=1)
+        closes = np.ones(stream.n_packets, dtype=bool)
+        if stream.n_packets > 1:
+            closes[:-1] = stream.new_row[1:]
+        kept_per_packet = np.where(closes, last_bound, lanes)
+        keep = np.arange(lanes)[None, :] < kept_per_packet[:, None]
+        products = products[keep]
+
+        cum_kept = np.concatenate([[0], np.cumsum(kept_per_packet)])
+        packet_of_bound, _ = np.nonzero(valid_mask)
+        ends = cum_kept[packet_of_bound] + bounds[valid_mask]
+        if len(ends) != stream.n_rows:
+            raise SimulationError(
+                f"stream has {len(ends)} row boundaries, declares {stream.n_rows} rows"
+            )
+        stats.rows_finished = int(len(ends))
+        stats.max_rows_in_packet = int(valid_mask.sum(axis=1).max(initial=0))
+        stats.spanning_rows = int((~stream.new_row[1:]).sum()) if stream.n_packets > 1 else 0
+
+        starts = np.concatenate([[0], ends[:-1]])
+        row_values = np.add.reduceat(products, starts).astype(acc)
+        stats.tracker_accepts = tracker.insert_many(
+            np.arange(stream.n_rows, dtype=np.int64), row_values.astype(np.float64)
+        )
+        return tracker.result(), stats
+
+
+def simulate_dataflow(
+    stream: BSCSRStream,
+    x: np.ndarray,
+    local_k: int,
+    accumulate_dtype: np.dtype = np.float64,
+    fast: bool = True,
+) -> tuple[TopKResult, DataflowStats]:
+    """Run one partition stream through a fresh core (convenience wrapper).
+
+    ``fast`` selects the vectorised implementation (identical results; the
+    per-packet reference path exists for hardware-faithful inspection).
+    """
+    core = DataflowCore(local_k=local_k, x=x, accumulate_dtype=accumulate_dtype)
+    return core.run_fast(stream) if fast else core.run(stream)
+
+
+def simulate_multicore(
+    matrix: BSCSRMatrix,
+    x: np.ndarray,
+    local_k: int,
+    accumulate_dtype: np.dtype = np.float64,
+    fast: bool = True,
+) -> tuple[list[TopKResult], DataflowStats]:
+    """Run every partition through its own core; globalise local row ids.
+
+    Returns the per-core candidate lists (global ids) and merged statistics.
+    The final merge/truncation to K is the host's job — see
+    :func:`repro.core.approx.merge_topk_candidates`.
+    """
+    results: list[TopKResult] = []
+    totals = DataflowStats()
+    for stream, offset in zip(matrix.streams, matrix.row_offsets):
+        local, stats = simulate_dataflow(
+            stream, x, local_k, accumulate_dtype, fast=fast
+        )
+        results.append(
+            TopKResult(indices=local.indices + int(offset), values=local.values)
+        )
+        totals = totals.merge(stats)
+    return results, totals

@@ -1,0 +1,256 @@
+"""High-level public API: the end-to-end simulated accelerator.
+
+:class:`TopKSpmvEngine` is what a downstream user touches: load an embedding
+collection once (partitioning + BS-CSR encoding + URAM feasibility check),
+then issue Top-K queries.  Every query runs the *functional* hardware path —
+quantised values, packet streams, Algorithm 1 per core, k·c candidate merge —
+and returns the result together with the simulated latency, throughput and
+power of the modelled board.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro import TopKSpmvEngine, PAPER_DESIGNS
+>>> from repro.data.synthetic import synthetic_embeddings
+>>> matrix = synthetic_embeddings(n_rows=10_000, n_cols=512, avg_nnz=20, seed=7)
+>>> engine = TopKSpmvEngine(matrix, design=PAPER_DESIGNS["20b"])
+>>> x = np.abs(np.random.default_rng(0).standard_normal(512))
+>>> result = engine.query(x / np.linalg.norm(x), top_k=10)
+>>> len(result.topk)
+10
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.approx import merge_topk_candidates
+from repro.core.dataflow import DataflowStats, simulate_multicore
+from repro.core.reference import TopKResult, exact_topk_spmv
+from repro.errors import ConfigurationError
+from repro.formats.bscsr import BSCSRMatrix
+from repro.formats.csr import CSRMatrix
+from repro.hw.calibration import CALIBRATION, CalibrationConstants
+from repro.hw.design import AcceleratorDesign, PAPER_DESIGNS
+from repro.hw.hbm import ALVEO_U280_HBM, HBMConfig
+from repro.hw.multicore import AcceleratorTiming, TopKSpmvAccelerator
+from repro.hw.power import estimate_fpga_power_w
+from repro.hw.uram import ALVEO_U280_URAM, URAMSpec, check_vector_fits
+from repro.utils.validation import check_positive_int
+
+__all__ = ["EngineResult", "BatchResult", "TopKSpmvEngine", "as_csr_matrix"]
+
+
+def as_csr_matrix(matrix) -> CSRMatrix:
+    """Coerce a CSRMatrix / SciPy sparse / dense 2-D array into CSRMatrix."""
+    if isinstance(matrix, CSRMatrix):
+        return matrix
+    if hasattr(matrix, "tocsr"):
+        return CSRMatrix.from_scipy(matrix)
+    dense = np.asarray(matrix)
+    if dense.ndim == 2:
+        return CSRMatrix.from_dense(dense)
+    raise ConfigurationError(
+        f"matrix must be CSRMatrix, scipy sparse or dense 2-D array, "
+        f"got {type(matrix).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Result of a back-to-back batch of queries on one board."""
+
+    topk: "list[TopKResult]"
+    seconds: float
+    queries_per_second: float
+    energy_j: float
+
+    def __len__(self) -> int:
+        return len(self.topk)
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Everything one simulated query produces."""
+
+    topk: TopKResult
+    timing: AcceleratorTiming
+    dataflow: DataflowStats
+    power_w: float
+
+    @property
+    def latency_s(self) -> float:
+        """Simulated end-to-end query latency in seconds."""
+        return self.timing.total_seconds
+
+    @property
+    def throughput_nnz_per_s(self) -> float:
+        """Simulated non-zeros per second."""
+        return self.timing.throughput_nnz_per_s
+
+    @property
+    def energy_j(self) -> float:
+        """Simulated board energy for the query."""
+        return self.power_w * self.latency_s
+
+
+class TopKSpmvEngine:
+    """Simulated multi-core Top-K SpMV accelerator over a loaded collection."""
+
+    def __init__(
+        self,
+        matrix,
+        design: AcceleratorDesign | None = None,
+        hbm: HBMConfig = ALVEO_U280_HBM,
+        uram: URAMSpec = ALVEO_U280_URAM,
+        constants: CalibrationConstants = CALIBRATION,
+    ):
+        """Load (partition + encode) an embedding collection.
+
+        Parameters
+        ----------
+        matrix:
+            The sparse embedding collection; any of
+            :class:`repro.formats.csr.CSRMatrix`, SciPy sparse, dense array.
+        design:
+            Accelerator design point; defaults to the paper's best (20-bit
+            fixed point, 32 cores).  If the matrix is wider than the
+            design's ``max_columns``, the layout is re-solved for the real
+            width (fewer lanes per packet).
+        hbm, uram, constants:
+            Board models; defaults model the Alveo U280.
+        """
+        self.matrix = as_csr_matrix(matrix)
+        if design is None:
+            design = PAPER_DESIGNS["20b"]
+        if self.matrix.n_cols > design.max_columns:
+            design = replace(design, max_columns=self.matrix.n_cols)
+        self.design = design
+        self.constants = constants
+        check_vector_fits(
+            vector_size=max(1, self.matrix.n_cols),
+            cores=design.cores,
+            lanes=design.layout.lanes,
+            x_bits=32,
+            spec=uram,
+        )
+        self.encoded = BSCSRMatrix.encode(
+            self.matrix,
+            layout=design.layout,
+            codec=design.codec,
+            n_partitions=design.cores,
+            rows_per_packet=design.effective_rows_per_packet,
+        )
+        self.accelerator = TopKSpmvAccelerator(design, hbm, constants)
+        # Timing depends only on the stream shape, not the query: cache it.
+        self._timing = self.accelerator.timing_from_matrix(self.encoded)
+        self._power_w = estimate_fpga_power_w(design, constants)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def query(self, x: np.ndarray, top_k: int) -> EngineResult:
+        """Run one approximate Top-K query through the simulated hardware."""
+        top_k = check_positive_int(top_k, "top_k")
+        if top_k > self.design.local_k * self.design.cores:
+            raise ConfigurationError(
+                f"top_k = {top_k} exceeds k*c = "
+                f"{self.design.local_k * self.design.cores} candidates; "
+                "increase local_k or cores"
+            )
+        x = self._check_query(x)
+        x_uram = self.design.quantize_query(x)
+        candidates, stats = simulate_multicore(
+            self.encoded,
+            x_uram,
+            local_k=self.design.local_k,
+            accumulate_dtype=self.design.accumulate_dtype,
+        )
+        topk = merge_topk_candidates(candidates, top_k)
+        return EngineResult(
+            topk=topk, timing=self._timing, dataflow=stats, power_w=self._power_w
+        )
+
+    def query_candidates(self, x: np.ndarray) -> tuple[list[TopKResult], DataflowStats]:
+        """Run the cores once and return the raw k·c candidate lists.
+
+        Useful for sweeping K without re-streaming the matrix: any
+        ``top_k <= k*c`` can be merged from the same candidates with
+        :func:`repro.core.approx.merge_topk_candidates` (what the host does).
+        """
+        x = self._check_query(x)
+        x_uram = self.design.quantize_query(x)
+        return simulate_multicore(
+            self.encoded,
+            x_uram,
+            local_k=self.design.local_k,
+            accumulate_dtype=self.design.accumulate_dtype,
+        )
+
+    def query_exact(self, x: np.ndarray, top_k: int) -> TopKResult:
+        """Golden float64 reference on the *original* (unquantised) matrix."""
+        x = self._check_query(x)
+        return exact_topk_spmv(self.matrix, x, top_k)
+
+    def query_batch(self, queries: np.ndarray, top_k: int) -> "BatchResult":
+        """Serve a batch of queries back-to-back on the simulated board.
+
+        The design streams the whole matrix once per query (queries are
+        independent scans); the modelled batch latency is therefore
+        ``n x makespan`` plus a single host invocation — consecutive scans
+        overlap the host round-trip, which is how a real deployment would
+        drive the board.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.matrix.n_cols:
+            raise ConfigurationError(
+                f"queries must have {self.matrix.n_cols} columns, "
+                f"got {queries.shape[1]}"
+            )
+        results = [self.query(x, top_k).topk for x in queries]
+        batch_seconds = (
+            len(queries) * self._timing.makespan_s + self.constants.host_overhead_s
+        )
+        return BatchResult(
+            topk=results,
+            seconds=batch_seconds,
+            queries_per_second=len(queries) / batch_seconds,
+            energy_j=self._power_w * batch_seconds,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def timing(self) -> AcceleratorTiming:
+        """Query-independent timing of one full scan."""
+        return self._timing
+
+    @property
+    def power_w(self) -> float:
+        """Modelled board power of the configured design."""
+        return self._power_w
+
+    def describe(self) -> str:
+        """Multi-line summary of the loaded collection and design."""
+        lines = [
+            self.design.describe(),
+            f"matrix: {self.matrix.n_rows} rows x {self.matrix.n_cols} cols, "
+            f"{self.matrix.nnz} non-zeros",
+            f"BS-CSR: {self.encoded.total_packets} packets, "
+            f"{self.encoded.total_bytes / 1e6:.2f} MB across "
+            f"{self.encoded.n_partitions} channels",
+            f"simulated query latency: {self.timing.total_seconds * 1e3:.3f} ms, "
+            f"power: {self.power_w:.1f} W",
+        ]
+        return "\n".join(lines)
+
+    def _check_query(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.matrix.n_cols,):
+            raise ConfigurationError(
+                f"query must have shape ({self.matrix.n_cols},), got {x.shape}"
+            )
+        return x

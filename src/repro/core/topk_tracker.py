@@ -1,0 +1,84 @@
+"""The per-core Top-K scratchpad (Section IV-B, Algorithm 1 stage 4).
+
+Each core keeps the current top ``k`` (row, value) pairs in LUT registers
+instead of writing the full output vector back to HBM.  On every finished
+row the hardware compares the row's value against the current *worst*
+tracked value (an argmin over the k registers) and replaces it when the new
+value is greater **or equal** — the ``resagg[j] >= worst`` comparison in
+Algorithm 1, which means later rows evict equal-valued earlier ones.
+
+The paper fixes ``k = 8``: larger k lowers the clock (RAW dependency chain
+in the argmin), smaller k hurts accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reference import TopKResult
+from repro.utils.validation import check_positive_int
+
+__all__ = ["TopKTracker"]
+
+
+class TopKTracker:
+    """A k-entry replace-the-minimum tracker, mirroring the hardware unit."""
+
+    def __init__(self, k: int):
+        self.k = check_positive_int(k, "k")
+        self._values = np.full(self.k, -np.inf, dtype=np.float64)
+        self._indices = np.full(self.k, -1, dtype=np.int64)
+        self._inserted = 0
+
+    @property
+    def worst_value(self) -> float:
+        """Current eviction threshold (−inf while not full)."""
+        return float(self._values.min())
+
+    @property
+    def count(self) -> int:
+        """Number of real entries currently tracked (≤ k)."""
+        return min(self._inserted, self.k)
+
+    def insert(self, row: int, value: float) -> bool:
+        """Offer a finished row to the tracker; returns True when accepted.
+
+        Mirrors the hardware exactly: a single argmin over the k registers,
+        replacement on ``value >= worst``.  NumPy's ``argmin`` picks the
+        first minimum, as a priority encoder would.
+        """
+        slot = int(self._values.argmin())
+        if value >= self._values[slot]:
+            self._values[slot] = value
+            self._indices[slot] = row
+            self._inserted += 1
+            return True
+        return False
+
+    def insert_many(self, rows: np.ndarray, values: np.ndarray) -> int:
+        """Offer a batch of finished rows in order; returns the accept count.
+
+        The hardware processes finished rows of one packet through the same
+        sequential argmin unit, so order matters and is preserved.
+        """
+        accepted = 0
+        for row, value in zip(np.asarray(rows), np.asarray(values)):
+            accepted += self.insert(int(row), float(value))
+        return accepted
+
+    def result(self) -> TopKResult:
+        """Snapshot the tracked entries, sorted (desc value, asc index).
+
+        Unfilled slots (when fewer than k rows were offered) are dropped.
+        """
+        mask = self._indices >= 0
+        indices = self._indices[mask]
+        values = self._values[mask]
+        order = np.lexsort((indices, -values))
+        return TopKResult(indices=indices[order], values=values[order])
+
+    def reset(self) -> None:
+        """Clear the tracker for the next query."""
+        self._values.fill(-np.inf)
+        self._indices.fill(-1)
+        self._inserted = 0

@@ -1,0 +1,33 @@
+"""Workload generators reproducing the paper's evaluation matrices (Table III).
+
+The paper evaluates on synthetic sparse embedding matrices (uniform and
+left-skewed Γ(k=3, θ=4/3) non-zero distributions, 20 or 40 average non-zeros
+per row) plus a sparsified GloVe corpus.  Without network access we
+synthesise a GloVe-like corpus with latent cluster structure and sparsify it
+with a greedy non-negative dictionary projection (DESIGN.md §2).
+"""
+
+from repro.data.synthetic import (
+    uniform_row_lengths,
+    gamma_row_lengths,
+    synthetic_embeddings,
+    embeddings_from_row_lengths,
+)
+from repro.data.sparsify import sparsify_topcoeff, GreedyDictionary
+from repro.data.glove import synthetic_glove_corpus, sparsified_glove_embeddings
+from repro.data.datasets import MatrixSpec, TABLE3_SPECS, spec_by_name, realize_spec
+
+__all__ = [
+    "uniform_row_lengths",
+    "gamma_row_lengths",
+    "synthetic_embeddings",
+    "embeddings_from_row_lengths",
+    "sparsify_topcoeff",
+    "GreedyDictionary",
+    "synthetic_glove_corpus",
+    "sparsified_glove_embeddings",
+    "MatrixSpec",
+    "TABLE3_SPECS",
+    "spec_by_name",
+    "realize_spec",
+]

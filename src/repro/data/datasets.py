@@ -1,0 +1,151 @@
+"""The Table III matrix registry: the 19 evaluation matrices.
+
+Table III groups the evaluation matrices by distribution and row count,
+with M ∈ {512, 1024} and 20 or 40 average non-zeros per row.  The exact
+19-matrix breakdown is not itemised in the paper; we register the assumption
+documented in DESIGN.md: for each distribution (uniform, Γ) and each
+N ∈ {0.5, 1, 1.5}x10^7, three variants — (M=512, avg 20), (M=1024, avg 20),
+(M=1024, avg 40) — giving 18 synthetic matrices, plus one sparsified GloVe
+matrix (N = 0.2x10^7, M = 1024), for 19 total.  The non-zero counts and
+BS-CSR byte sizes these specs imply match Table III's reported min-max
+ranges.
+
+Each spec can be *realised* at full scale (row-length arrays only, for the
+timing models) or at reduced scale (actual matrices, for functional runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.glove import sparsified_glove_embeddings
+from repro.data.synthetic import (
+    gamma_row_lengths,
+    synthetic_embeddings,
+    uniform_row_lengths,
+)
+from repro.errors import ConfigurationError
+from repro.formats.csr import CSRMatrix
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["MatrixSpec", "TABLE3_SPECS", "spec_by_name", "specs_in_group", "realize_spec"]
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """One evaluation matrix: distribution family plus size parameters."""
+
+    name: str
+    family: str  # "uniform" | "gamma" | "glove"
+    n_rows: int
+    n_cols: int
+    avg_nnz: int
+    group: str  # Figure 5 grouping: "N=0.5e7" | "N=1e7" | "N=1.5e7" | "glove"
+
+    @property
+    def expected_nnz(self) -> int:
+        """Expected total non-zeros."""
+        return self.n_rows * self.avg_nnz
+
+    def row_lengths(self, seed: "int | np.random.Generator | None" = None) -> np.ndarray:
+        """Sample the full-scale row-length profile (cheap even at N=10^7)."""
+        rng = derive_rng(seed)
+        if self.family == "uniform":
+            return uniform_row_lengths(self.n_rows, self.avg_nnz, rng)
+        if self.family == "gamma":
+            return gamma_row_lengths(self.n_rows, self.avg_nnz, rng)
+        if self.family == "glove":
+            # Sparsifier output: most rows saturate the top-s budget, a tail
+            # is shorter (negative responses dropped).
+            lengths = np.full(self.n_rows, self.avg_nnz, dtype=np.int64)
+            short = rng.random(self.n_rows) < 0.25
+            lengths[short] = rng.integers(
+                max(1, self.avg_nnz // 3), self.avg_nnz, size=int(short.sum())
+            )
+            return lengths
+        raise ConfigurationError(f"unknown family {self.family!r}")
+
+    def realize(
+        self,
+        n_rows: int | None = None,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> CSRMatrix:
+        """Materialise an actual matrix, optionally at reduced row count."""
+        rows = check_positive_int(n_rows, "n_rows") if n_rows is not None else self.n_rows
+        if self.family in ("uniform", "gamma"):
+            return synthetic_embeddings(
+                n_rows=rows,
+                n_cols=self.n_cols,
+                avg_nnz=self.avg_nnz,
+                distribution=self.family,
+                seed=seed,
+            )
+        if self.family == "glove":
+            return sparsified_glove_embeddings(
+                n_rows=rows, n_cols=self.n_cols, avg_nnz=self.avg_nnz, seed=seed
+            )
+        raise ConfigurationError(f"unknown family {self.family!r}")
+
+
+def _synthetic_specs() -> list[MatrixSpec]:
+    specs = []
+    groups = [(5_000_000, "N=0.5e7"), (10_000_000, "N=1e7"), (15_000_000, "N=1.5e7")]
+    variants = [(512, 20), (1024, 20), (1024, 40)]
+    for family in ("uniform", "gamma"):
+        for n_rows, group in groups:
+            for n_cols, avg in variants:
+                specs.append(
+                    MatrixSpec(
+                        name=f"{family}-{n_rows // 1_000_000}M-M{n_cols}-nnz{avg}",
+                        family=family,
+                        n_rows=n_rows,
+                        n_cols=n_cols,
+                        avg_nnz=avg,
+                        group=group,
+                    )
+                )
+    return specs
+
+
+#: All 19 evaluation matrices (18 synthetic + sparsified GloVe).
+TABLE3_SPECS: list[MatrixSpec] = _synthetic_specs() + [
+    MatrixSpec(
+        name="glove-2M-M1024",
+        family="glove",
+        n_rows=2_000_000,
+        n_cols=1024,
+        avg_nnz=18,
+        group="glove",
+    )
+]
+
+
+def spec_by_name(name: str) -> MatrixSpec:
+    """Look up a registered matrix spec by name."""
+    for spec in TABLE3_SPECS:
+        if spec.name == name:
+            return spec
+    raise ConfigurationError(
+        f"unknown matrix spec {name!r}; registered: {[s.name for s in TABLE3_SPECS]}"
+    )
+
+
+def specs_in_group(group: str) -> list[MatrixSpec]:
+    """All specs of one Figure 5 group ('N=0.5e7', 'N=1e7', 'N=1.5e7', 'glove')."""
+    matches = [s for s in TABLE3_SPECS if s.group == group]
+    if not matches:
+        groups = sorted({s.group for s in TABLE3_SPECS})
+        raise ConfigurationError(f"unknown group {group!r}; known groups: {groups}")
+    return matches
+
+
+def realize_spec(
+    name: str,
+    n_rows: int | None = None,
+    seed: "int | np.random.Generator | None" = None,
+) -> CSRMatrix:
+    """Materialise a registered spec (optionally at reduced scale)."""
+    return spec_by_name(name).realize(n_rows=n_rows, seed=seed)

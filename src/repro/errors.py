@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single type at API boundaries.  Sub-types are grouped by subsystem
+(formats, hardware models, configuration) to make failure handling precise in
+tests and in the experiment harness.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "FormatError",
+    "LayoutError",
+    "PacketDecodeError",
+    "CapacityError",
+    "SimulationError",
+    "CalibrationError",
+    "DataGenerationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class FormatError(ReproError):
+    """A sparse matrix container is malformed or inconsistent."""
+
+
+class LayoutError(FormatError):
+    """A BS-CSR packet layout is infeasible (capacity equation violated)."""
+
+
+class PacketDecodeError(FormatError):
+    """A BS-CSR packet stream could not be decoded (corruption/truncation)."""
+
+
+class CapacityError(ReproError):
+    """A hardware resource budget was exceeded (URAM, channels, FPGA area)."""
+
+
+class SimulationError(ReproError):
+    """The hardware simulation reached an inconsistent state."""
+
+
+class CalibrationError(ReproError):
+    """A performance-model calibration constant is missing or invalid."""
+
+
+class DataGenerationError(ReproError):
+    """A synthetic workload generator received unsatisfiable parameters."""

@@ -1,0 +1,40 @@
+"""Experiment runners: one per table/figure of the paper (DESIGN.md §4).
+
+Every runner takes an :class:`repro.experiments.config.ExperimentConfig` and
+returns an :class:`repro.analysis.reporting.ExperimentReport` whose sections
+print the paper-reported values next to the reproduced ones.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.ablations import run_ablations
+
+ALL_EXPERIMENTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "figure3": run_figure3,
+    "figure5": run_figure5,
+    "figure6": run_figure6,
+    "figure7": run_figure7,
+    "ablations": run_ablations,
+}
+
+__all__ = [
+    "ExperimentConfig",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_figure3",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_ablations",
+    "ALL_EXPERIMENTS",
+]

@@ -1,0 +1,55 @@
+"""Figure 3 — packet capacity of naïve COO vs optimized COO vs BS-CSR.
+
+Pure layout arithmetic: 5 non-zeros per 512-bit packet for three 32-bit
+words (naïve COO), 8 with reduced-precision fields but a 32-bit row id
+(optimized COO), and 15 for BS-CSR's 4-bit in-packet ``ptr``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ExperimentReport
+from repro.experiments.config import ExperimentConfig
+from repro.formats.layout import (
+    naive_coo_capacity,
+    optimized_coo_capacity,
+    solve_layout,
+)
+
+__all__ = ["run_figure3"]
+
+
+def run_figure3(config: ExperimentConfig | None = None) -> ExperimentReport:
+    """Regenerate the Figure 3 capacity comparison."""
+    config = config or ExperimentConfig()
+    del config  # deterministic
+    report = ExperimentReport(
+        experiment_id="Figure 3",
+        title="Non-zeros per 512-bit packet: COO variants vs BS-CSR "
+        "(idx < 1024, 20-bit values)",
+    )
+    naive = naive_coo_capacity()
+    optimized = optimized_coo_capacity(n_rows_bits=32, idx_bits=10, val_bits=20)
+    bscsr = solve_layout(n_cols=1024, val_bits=20)
+    rows = [
+        ["naive COO (3 x 32b)", 5, naive, 32 * 3 * naive],
+        ["optimized COO (32b row + 10b idx + 20b val)", 8, optimized, 62 * optimized],
+        [f"BS-CSR ({bscsr.ptr_bits}b ptr + {bscsr.idx_bits}b idx + "
+         f"{bscsr.val_bits}b val + new_row)", 15, bscsr.lanes, bscsr.used_bits],
+    ]
+    report.add_table(
+        ["format", "paper nnz/packet", "measured nnz/packet", "bits used"],
+        rows,
+        title="Figure 3: packet capacity",
+    )
+    gain = bscsr.lanes / naive
+    report.add_section(
+        f"BS-CSR fits {gain:.1f}x the non-zeros of naive COO per packet "
+        "(paper: '2 to 3 times as many non-zero entries', 3x at these widths)"
+    )
+    report.data = {
+        "naive_coo": naive,
+        "optimized_coo": optimized,
+        "bscsr": bscsr.lanes,
+        "oi_gain_vs_naive": gain,
+    }
+    return report

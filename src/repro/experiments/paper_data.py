@@ -1,0 +1,119 @@
+"""Every number the paper reports, transcribed for paper-vs-measured tables.
+
+Sources are the tables/figures of Parravicini et al., DAC 2021
+(arXiv:2103.04808v1).  These constants are *data about the paper*, never
+inputs to the models (the models are calibrated in
+:mod:`repro.hw.calibration`, which documents the few fitted constants).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_K_VALUES",
+    "TABLE1_PAPER",
+    "TABLE2_PAPER",
+    "TABLE2_AVAILABLE",
+    "TABLE3_PAPER",
+    "FIGURE5_CPU_BASELINE_MS",
+    "FIGURE5_SPEEDUPS",
+    "FIGURE6_CORE_SCALING_GBPS",
+    "FIGURE7_BOUNDS",
+    "POWER_CLAIMS",
+    "HEADLINE_CLAIMS",
+]
+
+#: K values evaluated throughout (Table I columns, Figure 7 x-axis).
+TABLE1_K_VALUES = (8, 16, 32, 50, 75, 100)
+
+#: Table I: expected precision of Top-K indices, k = 8, 1000 MC trials.
+#: Keyed by (n_rows, n_partitions) → tuple aligned with TABLE1_K_VALUES.
+TABLE1_PAPER: dict[tuple[int, int], tuple[float, ...]] = {
+    (10**6, 16): (1.0, 1.0, 0.999, 0.998, 0.983, 0.942),
+    (10**6, 28): (1.0, 1.0, 1.0, 0.999, 0.999, 0.996),
+    (10**6, 32): (1.0, 1.0, 1.0, 0.999, 0.999, 0.997),
+    (10**7, 16): (1.0, 1.0, 1.0, 0.999, 0.986, 0.947),
+    (10**7, 28): (1.0, 1.0, 1.0, 0.999, 0.999, 0.995),
+    (10**7, 32): (1.0, 1.0, 1.0, 0.999, 0.998, 0.998),
+}
+
+#: Table II: resource utilisation (fractions), clock (MHz) and power (W)
+#: of the four 32-core designs.
+TABLE2_PAPER: dict[str, dict[str, float]] = {
+    "20b": {"LUT": 0.38, "FF": 0.35, "BRAM": 0.20, "URAM": 0.33, "DSP": 0.07,
+            "clock_mhz": 253.0, "power_w": 34.0},
+    "25b": {"LUT": 0.38, "FF": 0.36, "BRAM": 0.20, "URAM": 0.30, "DSP": 0.11,
+            "clock_mhz": 240.0, "power_w": 35.0},
+    "32b": {"LUT": 0.35, "FF": 0.33, "BRAM": 0.20, "URAM": 0.27, "DSP": 0.17,
+            "clock_mhz": 249.0, "power_w": 35.0},
+    "f32": {"LUT": 0.44, "FF": 0.37, "BRAM": 0.20, "URAM": 0.26, "DSP": 0.19,
+            "clock_mhz": 204.0, "power_w": 45.0},
+}
+
+#: Table II's "Available" row (xcu280-fsvh2892-2L-e).
+TABLE2_AVAILABLE = {"LUT": 1_097_419, "FF": 2_180_971, "BRAM": 1_812,
+                    "URAM": 960, "DSP": 9_020}
+
+#: Table III: per group, (nnz_min, nnz_max) and BS-CSR size range in GB.
+TABLE3_PAPER: dict[str, dict[str, tuple[float, float]]] = {
+    "uniform-0.5e7": {"nnz": (1e8, 2e8), "size_gb": (0.4, 0.8)},
+    "uniform-1e7": {"nnz": (2e8, 4e8), "size_gb": (0.8, 1.7)},
+    "uniform-1.5e7": {"nnz": (3e8, 6e8), "size_gb": (1.2, 2.5)},
+    "gamma-0.5e7": {"nnz": (9.7e7, 1.97e8), "size_gb": (0.4, 0.8)},
+    "gamma-1e7": {"nnz": (1.9e8, 3.95e8), "size_gb": (0.8, 1.7)},
+    "gamma-1.5e7": {"nnz": (2.9e8, 5.92e8), "size_gb": (1.2, 2.5)},
+    "glove": {"nnz": (2.4e7, 4.6e7), "size_gb": (0.1, 0.3)},
+}
+
+#: Figure 5: CPU baseline execution time per matrix group (ms), K = 100.
+FIGURE5_CPU_BASELINE_MS: dict[str, float] = {
+    "N=0.5e7": 279.0,
+    "N=1e7": 509.0,
+    "N=1.5e7": 747.0,
+    "glove": 117.0,
+}
+
+#: Figure 5: speedups vs the CPU baseline per group.  GPU numbers are the
+#: idealized zero-cost-sort variant the bars report.
+FIGURE5_SPEEDUPS: dict[str, dict[str, float]] = {
+    "N=0.5e7": {"GPU F32": 55.0, "GPU F16": 62.0, "FPGA 20b 32C": 101.0,
+                "FPGA 25b 32C": 86.0, "FPGA 32b 32C": 75.0, "FPGA F32 32C": 43.0},
+    "N=1e7": {"GPU F32": 51.0, "GPU F16": 58.0, "FPGA 20b 32C": 106.0,
+              "FPGA 25b 32C": 88.0, "FPGA 32b 32C": 89.0, "FPGA F32 32C": 43.0},
+    "N=1.5e7": {"GPU F32": 51.0, "GPU F16": 58.0, "FPGA 20b 32C": 106.0,
+                "FPGA 25b 32C": 89.0, "FPGA 32b 32C": 77.0, "FPGA F32 32C": 43.0},
+    "glove": {"GPU F32": 93.0, "GPU F16": 96.0, "FPGA 20b 32C": 132.0,
+              "FPGA 25b 32C": 108.0, "FPGA 32b 32C": 103.0, "FPGA F32 32C": 62.0},
+}
+
+#: Figure 6a: aggregate streaming bandwidth per core count (GB/s).
+FIGURE6_CORE_SCALING_GBPS: dict[int, float] = {
+    1: 13.2, 8: 105.6, 16: 211.2, 32: 422.4,
+}
+
+#: Figure 7: qualitative accuracy floors the paper reports (Section V-D).
+FIGURE7_BOUNDS = {
+    "precision_floor": 0.96,  # "Precision above 97%" with margin for K=100
+    "kendall_floor": 0.93,
+    "ndcg_floor": 0.95,
+}
+
+#: Section V-B power-efficiency claims.
+POWER_CLAIMS = {
+    "fpga_power_w": 35.0,
+    "host_power_w": 40.0,
+    "cpu_power_w": 300.0,
+    "gpu_power_w": 250.0,
+    "perf_per_watt_vs_cpu": 400.0,
+    "perf_per_watt_vs_gpu": 14.2,
+    "perf_per_watt_vs_gpu_with_host": 7.7,
+}
+
+#: Headline claims used as cross-checks in several experiments.
+HEADLINE_CLAIMS = {
+    "throughput_gnnz_per_s": 57.0,     # "over 57 billion non-zeros per second"
+    "latency_1e7_rows_2e8_nnz_ms": 4.0,  # "in less than 4 ms"
+    "speedup_vs_cpu": 100.0,           # abstract: "100x faster than CPU"
+    "speedup_vs_gpu_idealized": 2.0,   # abstract: "2x faster than GPU"
+    "bscsr_oi_gain_vs_coo": 3.0,       # "2 to 3 times as many non-zeros"
+    "max_vector_size": 80_000,         # Section IV-A
+}

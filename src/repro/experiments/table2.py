@@ -1,0 +1,68 @@
+"""Table II — resource usage, clock and power of the four designs.
+
+The parametric resource/clock/power models (calibrated per DESIGN.md §5)
+regenerate every Table II cell; the report prints modelled vs paper values
+with the absolute deviation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ExperimentReport
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.paper_data import TABLE2_AVAILABLE, TABLE2_PAPER
+from repro.hw.design import PAPER_DESIGNS
+from repro.hw.power import estimate_fpga_power_w
+from repro.hw.resources import ResourceModel
+
+__all__ = ["run_table2"]
+
+_RESOURCES = ("LUT", "FF", "BRAM", "URAM", "DSP")
+
+
+def run_table2(config: ExperimentConfig | None = None) -> ExperimentReport:
+    """Regenerate Table II from the resource/clock/power models."""
+    config = config or ExperimentConfig()
+    del config  # deterministic: the models take no stochastic inputs
+    model = ResourceModel()
+    report = ExperimentReport(
+        experiment_id="Table II",
+        title="Resource usage, clock frequency and power of the 32-core designs",
+    )
+
+    headers = ["design", "source"] + list(_RESOURCES) + ["clock MHz", "power W"]
+    rows = []
+    results: dict[str, dict[str, dict[str, float]]] = {}
+    worst_util_gap = 0.0
+    for key, design in PAPER_DESIGNS.items():
+        paper = TABLE2_PAPER[key]
+        util = model.utilization(design)
+        power = estimate_fpga_power_w(design)
+        clock = design.resolved_clock_mhz
+        measured = {**{r: util[r] for r in _RESOURCES},
+                    "clock_mhz": clock, "power_w": power}
+        results[key] = {"paper": dict(paper), "measured": measured}
+        rows.append(
+            [design.name, "paper"]
+            + [f"{paper[r]:.0%}" for r in _RESOURCES]
+            + [paper["clock_mhz"], paper["power_w"]]
+        )
+        rows.append(
+            [design.name, "model"]
+            + [f"{util[r]:.1%}" for r in _RESOURCES]
+            + [round(clock, 1), round(power, 1)]
+        )
+        worst_util_gap = max(
+            worst_util_gap, *(abs(util[r] - paper[r]) for r in _RESOURCES)
+        )
+
+    report.add_table(headers, rows, title="Table II: paper vs parametric model")
+    report.add_section(
+        "Available (xcu280-fsvh2892-2L-e): "
+        + ", ".join(f"{r}={TABLE2_AVAILABLE[r]}" for r in _RESOURCES)
+    )
+    report.add_section(
+        f"worst utilisation deviation: {worst_util_gap * 100:.1f} percentage points "
+        "(model calibration tolerance: 2 pp; see repro.hw.calibration)"
+    )
+    report.data = {"results": results, "worst_utilization_gap": worst_util_gap}
+    return report

@@ -1,0 +1,77 @@
+"""Sparse matrix containers and the BS-CSR streaming format.
+
+This package implements the paper's Section III-B: the Coordinate (COO) and
+Compressed Sparse Row (CSR) reference formats, and **Block-Streaming CSR
+(BS-CSR)** — the paper's contribution — in which every 512-bit HBM packet is
+a self-contained CSR fragment that can be decoded without cross-packet
+pointer chasing.
+"""
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.layout import (
+    PacketLayout,
+    solve_layout,
+    ptr_field_bits,
+    naive_coo_capacity,
+    optimized_coo_capacity,
+)
+from repro.formats.bscsr import (
+    BSCSRMatrix,
+    BSCSRStream,
+    encode_bscsr,
+    decode_to_coo,
+    decode_to_csr,
+    lane_row_ids,
+    validate_stream,
+)
+from repro.formats.bitpack import BitWriter, BitReader, pack_packet, unpack_packet
+from repro.formats.stats import (
+    PackingStats,
+    packing_stats,
+    count_packets,
+    stats_from_row_lengths,
+)
+from repro.formats.io import (
+    save_csr,
+    load_csr,
+    save_stream,
+    load_stream,
+    save_bscsr_matrix,
+    load_bscsr_matrix,
+    save_wire,
+    load_wire,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "PacketLayout",
+    "solve_layout",
+    "ptr_field_bits",
+    "naive_coo_capacity",
+    "optimized_coo_capacity",
+    "BSCSRMatrix",
+    "BSCSRStream",
+    "encode_bscsr",
+    "decode_to_coo",
+    "decode_to_csr",
+    "lane_row_ids",
+    "validate_stream",
+    "BitWriter",
+    "BitReader",
+    "pack_packet",
+    "unpack_packet",
+    "PackingStats",
+    "packing_stats",
+    "count_packets",
+    "stats_from_row_lengths",
+    "save_csr",
+    "load_csr",
+    "save_stream",
+    "load_stream",
+    "save_bscsr_matrix",
+    "load_bscsr_matrix",
+    "save_wire",
+    "load_wire",
+]

@@ -1,0 +1,168 @@
+"""Coordinate (COO) sparse matrix container.
+
+COO is the streaming-friendly reference format discussed in Section III-B:
+three parallel arrays (row, column, value) allow burst iteration over
+non-zeros but store the row coordinate redundantly for every entry, which
+limits operational intensity — the problem BS-CSR solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import FormatError
+
+__all__ = ["COOMatrix"]
+
+
+@dataclass
+class COOMatrix:
+    """A sparse matrix in coordinate format, kept sorted row-major.
+
+    Attributes
+    ----------
+    rows, cols:
+        Integer coordinate arrays of equal length ``nnz``.
+    vals:
+        Float64 values, same length.
+    n_rows, n_cols:
+        Logical matrix shape (may exceed the largest coordinate).
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+    n_rows: int
+    n_cols: int
+
+    def __post_init__(self) -> None:
+        self.rows = np.ascontiguousarray(self.rows, dtype=np.int64)
+        self.cols = np.ascontiguousarray(self.cols, dtype=np.int64)
+        self.vals = np.ascontiguousarray(self.vals, dtype=np.float64)
+        self.n_rows = int(self.n_rows)
+        self.n_cols = int(self.n_cols)
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_arrays(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        n_rows: int,
+        n_cols: int,
+        sort: bool = True,
+    ) -> "COOMatrix":
+        """Build a COO matrix, optionally sorting entries row-major.
+
+        Duplicate coordinates are not coalesced; callers that need coalescing
+        should round-trip through :meth:`to_scipy`.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        if sort and len(rows):
+            order = np.lexsort((cols, rows))
+            rows, cols, vals = rows[order], cols[order], vals[order]
+        return cls(rows=rows, cols=cols, vals=vals, n_rows=n_rows, n_cols=n_cols)
+
+    @classmethod
+    def from_scipy(cls, matrix: sp.spmatrix) -> "COOMatrix":
+        """Convert any SciPy sparse matrix (coalesced, row-major sorted)."""
+        coo = matrix.tocoo()
+        coo.sum_duplicates()
+        return cls.from_arrays(
+            coo.row, coo.col, coo.data, n_rows=coo.shape[0], n_cols=coo.shape[1]
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        """Extract the non-zero pattern of a dense 2-D array."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise FormatError(f"dense input must be 2-D, got shape {dense.shape}")
+        rows, cols = np.nonzero(dense)
+        return cls.from_arrays(
+            rows, cols, dense[rows, cols], n_rows=dense.shape[0], n_cols=dense.shape[1]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Properties and validation
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return len(self.vals)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical (n_rows, n_cols) shape."""
+        return (self.n_rows, self.n_cols)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`FormatError` on violation."""
+        if not (len(self.rows) == len(self.cols) == len(self.vals)):
+            raise FormatError(
+                f"coordinate arrays disagree: rows={len(self.rows)}, "
+                f"cols={len(self.cols)}, vals={len(self.vals)}"
+            )
+        if self.n_rows < 0 or self.n_cols < 0:
+            raise FormatError(f"negative shape {self.shape}")
+        if self.nnz:
+            if self.rows.min() < 0 or self.rows.max() >= self.n_rows:
+                raise FormatError(
+                    f"row coordinates out of range [0, {self.n_rows}): "
+                    f"[{self.rows.min()}, {self.rows.max()}]"
+                )
+            if self.cols.min() < 0 or self.cols.max() >= self.n_cols:
+                raise FormatError(
+                    f"column coordinates out of range [0, {self.n_cols}): "
+                    f"[{self.cols.min()}, {self.cols.max()}]"
+                )
+
+    def is_row_sorted(self) -> bool:
+        """True when entries are sorted row-major (rows, then columns)."""
+        if self.nnz <= 1:
+            return True
+        row_step = np.diff(self.rows)
+        if (row_step < 0).any():
+            return False
+        same_row = row_step == 0
+        return bool((np.diff(self.cols)[same_row] >= 0).all())
+
+    # ------------------------------------------------------------------ #
+    # Conversion and computation
+    # ------------------------------------------------------------------ #
+    def to_scipy(self) -> sp.coo_matrix:
+        """Convert to a SciPy COO matrix."""
+        return sp.coo_matrix(
+            (self.vals, (self.rows, self.cols)), shape=self.shape
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense float64 array (duplicates summed)."""
+        return np.asarray(self.to_scipy().todense())
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Reference SpMV ``y = A @ x`` in float64."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise FormatError(f"x must have shape ({self.n_cols},), got {x.shape}")
+        y = np.zeros(self.n_rows, dtype=np.float64)
+        np.add.at(y, self.rows, self.vals * x[self.cols])
+        return y
+
+    def row_lengths(self) -> np.ndarray:
+        """Number of stored entries per row (length ``n_rows``)."""
+        return np.bincount(self.rows, minlength=self.n_rows).astype(np.int64)
+
+    def memory_bytes(self, row_bits: int = 32, col_bits: int = 32, val_bits: int = 32) -> int:
+        """Storage footprint under a given per-field bit budget (Figure 3 accounting)."""
+        total_bits = self.nnz * (row_bits + col_bits + val_bits)
+        return (total_bits + 7) // 8

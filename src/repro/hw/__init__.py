@@ -1,0 +1,59 @@
+"""Hardware substrate models: HBM, URAM, FPGA cores, resources, power.
+
+Nothing in this package executes on real hardware — it is the analytical /
+cycle-level substitute for the paper's Alveo U280 testbed (see DESIGN.md §2).
+All tunable constants live in :mod:`repro.hw.calibration` with their
+provenance documented.
+"""
+
+from repro.hw.calibration import CALIBRATION, CalibrationConstants
+from repro.hw.design import AcceleratorDesign, PAPER_DESIGNS, design_by_name
+from repro.hw.hbm import HBMConfig, ALVEO_U280_HBM
+from repro.hw.uram import URAMSpec, ALVEO_U280_URAM, replicas_needed, max_vector_size
+from repro.hw.resources import (
+    ResourceUsage,
+    ResourceModel,
+    U280_AVAILABLE,
+    estimate_core_resources,
+    estimate_total_resources,
+)
+from repro.hw.clocking import achievable_clock_mhz
+from repro.hw.power import estimate_fpga_power_w, PowerBudget
+from repro.hw.fpga_core import FPGACoreModel, CoreTiming
+from repro.hw.multicore import TopKSpmvAccelerator, AcceleratorTiming
+from repro.hw.boards import Board, BOARDS, ALVEO_U280, ALVEO_U50, ALVEO_U55C, accelerator_on_board
+from repro.hw.cycle_sim import PipelineSimulator, CycleReport
+
+__all__ = [
+    "CALIBRATION",
+    "CalibrationConstants",
+    "AcceleratorDesign",
+    "PAPER_DESIGNS",
+    "design_by_name",
+    "HBMConfig",
+    "ALVEO_U280_HBM",
+    "URAMSpec",
+    "ALVEO_U280_URAM",
+    "replicas_needed",
+    "max_vector_size",
+    "ResourceUsage",
+    "ResourceModel",
+    "U280_AVAILABLE",
+    "estimate_core_resources",
+    "estimate_total_resources",
+    "achievable_clock_mhz",
+    "estimate_fpga_power_w",
+    "PowerBudget",
+    "FPGACoreModel",
+    "CoreTiming",
+    "TopKSpmvAccelerator",
+    "AcceleratorTiming",
+    "Board",
+    "BOARDS",
+    "ALVEO_U280",
+    "ALVEO_U50",
+    "ALVEO_U55C",
+    "accelerator_on_board",
+    "PipelineSimulator",
+    "CycleReport",
+]

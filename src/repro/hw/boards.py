@@ -1,0 +1,106 @@
+"""HBM accelerator-card registry (the paper's "smaller boards" future work).
+
+Section VI: *"We will also apply our design to smaller FPGA accelerator
+cards: with similar memory bandwidth, the computation can be cheaper and
+even more power-efficient, with no performance loss."*  This module models
+that study: a :class:`Board` bundles an HBM stack, a URAM budget and an FPGA
+resource pool, and :func:`accelerator_on_board` instantiates the paper's
+design on it (clipping the core count to the board's channels).
+
+Registered boards:
+
+* **Alveo U280** — the paper's card (32 channels, 460 GB/s, large FPGA);
+* **Alveo U50** — half-height card: 32 channels but 316 GB/s and a smaller
+  FPGA / power budget;
+* **Alveo U55C** — same 460 GB/s HBM2e in a denser, lower-power card.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hw.design import AcceleratorDesign
+from repro.hw.hbm import ALVEO_U280_HBM, HBMConfig
+from repro.hw.multicore import TopKSpmvAccelerator
+from repro.hw.resources import ResourceModel, ResourceUsage, U280_AVAILABLE
+from repro.hw.uram import ALVEO_U280_URAM, URAMSpec
+
+__all__ = ["Board", "ALVEO_U280", "ALVEO_U50", "ALVEO_U55C", "BOARDS", "accelerator_on_board"]
+
+
+@dataclass(frozen=True)
+class Board:
+    """An HBM FPGA accelerator card."""
+
+    name: str
+    hbm: HBMConfig
+    uram: URAMSpec
+    resources: ResourceUsage
+    max_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.max_power_w <= 0:
+            raise ConfigurationError(f"max_power_w must be > 0, got {self.max_power_w}")
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Aggregate HBM peak bandwidth."""
+        return self.hbm.aggregate_peak_gbps()
+
+
+#: The paper's evaluation card.
+ALVEO_U280 = Board(
+    name="Alveo U280",
+    hbm=ALVEO_U280_HBM,
+    uram=ALVEO_U280_URAM,
+    resources=U280_AVAILABLE,
+    max_power_w=225.0,
+)
+
+#: Half-height, lower-power card: same channel count, ~31% less bandwidth.
+ALVEO_U50 = Board(
+    name="Alveo U50",
+    hbm=replace(ALVEO_U280_HBM, channel_peak_gbps=316.0 / 32),
+    uram=URAMSpec(total_bytes=640 * 36864),
+    resources=ResourceUsage(lut=872_000, ff=1_743_000, bram=1_344, uram=640, dsp=5_952),
+    max_power_w=75.0,
+)
+
+#: HBM2e card with the U280's bandwidth in a denser, passively-cooled form.
+ALVEO_U55C = Board(
+    name="Alveo U55C",
+    hbm=ALVEO_U280_HBM,
+    uram=URAMSpec(total_bytes=640 * 36864),
+    resources=ResourceUsage(lut=872_000, ff=1_743_000, bram=1_344, uram=640, dsp=5_952),
+    max_power_w=150.0,
+)
+
+#: All registered boards by name.
+BOARDS: dict[str, Board] = {
+    "u280": ALVEO_U280,
+    "u50": ALVEO_U50,
+    "u55c": ALVEO_U55C,
+}
+
+
+def accelerator_on_board(
+    design: AcceleratorDesign, board: Board
+) -> TopKSpmvAccelerator:
+    """Instantiate a design on a board, checking channels and area.
+
+    The core count is clipped to the board's HBM channels (the binding
+    constraint in the paper); area feasibility is verified against the
+    board's resource pool.
+    """
+    cores = min(design.cores, board.hbm.n_channels)
+    fitted = design.with_cores(cores) if cores != design.cores else design
+    model = ResourceModel(available=board.resources)
+    total = model.total(fitted)
+    if not total.fits(board.resources):
+        util = total.utilization(board.resources)
+        over = {k: f"{v:.0%}" for k, v in util.items() if v > 1.0}
+        raise CapacityError(
+            f"design '{fitted.name}' does not fit {board.name}: {over}"
+        )
+    return TopKSpmvAccelerator(fitted, hbm=board.hbm)

@@ -1,0 +1,55 @@
+"""Achievable clock frequency model (Table II's MHz column).
+
+The four paper designs closed timing at 253/240/249/204 MHz; the spread
+among the fixed-point designs (240-253) is place-and-route variation, so the
+model anchors the exact paper values for the paper design points and applies
+a structural estimate elsewhere:
+
+* fixed-point logic closes around 247 MHz, float32 around 204 MHz (the
+  deeper FP datapath);
+* the Top-K argmin has a RAW dependency chain across ``k`` registers
+  (Section IV-B: "higher k results in lower clock speed"), modelled as a
+  gentle degradation beyond the paper's k = 8.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["achievable_clock_mhz", "PAPER_CLOCKS_MHZ"]
+
+#: Measured clocks of the four paper design points (Table II).
+PAPER_CLOCKS_MHZ: dict[tuple[int, str], float] = {
+    (20, "fixed"): 253.0,
+    (25, "fixed"): 240.0,
+    (32, "fixed"): 249.0,
+    (32, "float"): 204.0,
+}
+
+_FIXED_BASE_MHZ = 247.0
+_FLOAT_BASE_MHZ = 204.0
+#: Exponent of the argmin chain penalty: f ~ (8/k)^0.25 beyond k = 8.
+_ARGMIN_PENALTY_EXPONENT = 0.25
+_PAPER_K = 8
+
+
+def achievable_clock_mhz(value_bits: int, arithmetic: str, local_k: int = 8) -> float:
+    """Estimate the design's clock in MHz.
+
+    Paper design points at k = 8 return the measured Table II values; other
+    configurations use the structural model described in the module
+    docstring.
+    """
+    check_positive_int(value_bits, "value_bits")
+    check_positive_int(local_k, "local_k")
+    if arithmetic not in ("fixed", "signed", "float"):
+        raise ConfigurationError(
+            f"arithmetic must be 'fixed', 'signed' or 'float', got {arithmetic!r}"
+        )
+    if local_k == _PAPER_K and (value_bits, arithmetic) in PAPER_CLOCKS_MHZ:
+        return PAPER_CLOCKS_MHZ[(value_bits, arithmetic)]
+    base = _FLOAT_BASE_MHZ if arithmetic == "float" else _FIXED_BASE_MHZ
+    if local_k > _PAPER_K:
+        base *= (_PAPER_K / local_k) ** _ARGMIN_PENALTY_EXPONENT
+    return base

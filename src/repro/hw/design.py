@@ -1,0 +1,172 @@
+"""Accelerator design points (the paper's Table II rows and DSE variants).
+
+An :class:`AcceleratorDesign` bundles everything the models need: value
+precision and arithmetic type, the derived BS-CSR packet layout, the
+per-core scratchpad depth ``k``, the rows-per-packet budget ``r``, the core
+count and the clock.  The four designs evaluated in the paper are exposed in
+:data:`PAPER_DESIGNS`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from functools import cached_property
+
+import numpy as np
+
+from repro.arithmetic.codecs import ValueCodec, codec_for_design
+from repro.arithmetic.fixed_point import FixedPointFormat, Q1_31
+
+#: 32-bit signed query format for the "signed" arithmetic extension.
+_SIGNED_QUERY_FORMAT = FixedPointFormat(integer_bits=1, fraction_bits=30, signed=True)
+from repro.errors import ConfigurationError
+from repro.formats.layout import PacketLayout, solve_layout
+from repro.hw.clocking import achievable_clock_mhz
+from repro.utils.validation import check_one_of, check_positive_int
+
+__all__ = ["AcceleratorDesign", "PAPER_DESIGNS", "design_by_name"]
+
+
+@dataclass(frozen=True)
+class AcceleratorDesign:
+    """A complete Top-K SpMV accelerator configuration.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports (e.g. ``"FPGA 20b 32C"``).
+    value_bits:
+        Storage width of matrix values (20/25/32).
+    arithmetic:
+        ``"fixed"`` (unsigned Q1.n, as in the paper), ``"signed"``
+        (offset-binary signed fixed point, an extension) or ``"float"``
+        (IEEE float32).
+    cores:
+        Independent cores, one HBM channel each (max 32 on the U280).
+    local_k:
+        Per-core Top-K scratchpad depth (paper: 8).
+    max_columns:
+        Upper bound on the embedding dimension M; sizes the ``idx`` field
+        (paper assumes idx < 1024, i.e. 10 bits).
+    rows_per_packet:
+        The ``r`` budget; ``None`` derives the paper's choice
+        ``ceil(B/2)`` (within the recommended B/4 < r < B/2 .. B range).
+    packet_bits:
+        HBM packet width (512).
+    clock_mhz:
+        Clock override; ``None`` derives it from :mod:`repro.hw.clocking`.
+    """
+
+    name: str
+    value_bits: int
+    arithmetic: str = "fixed"
+    cores: int = 32
+    local_k: int = 8
+    max_columns: int = 1024
+    rows_per_packet: int | None = None
+    packet_bits: int = 512
+    clock_mhz: float | None = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.value_bits, "value_bits")
+        check_one_of(self.arithmetic, "arithmetic", ("fixed", "signed", "float"))
+        check_positive_int(self.cores, "cores")
+        check_positive_int(self.local_k, "local_k")
+        check_positive_int(self.max_columns, "max_columns")
+        check_positive_int(self.packet_bits, "packet_bits")
+        if self.rows_per_packet is not None:
+            r = check_positive_int(self.rows_per_packet, "rows_per_packet")
+            if r > self.layout.lanes:
+                raise ConfigurationError(
+                    f"rows_per_packet = {r} exceeds the layout's {self.layout.lanes} lanes"
+                )
+        if self.clock_mhz is not None and self.clock_mhz <= 0:
+            raise ConfigurationError(f"clock_mhz must be > 0, got {self.clock_mhz}")
+
+    # ------------------------------------------------------------------ #
+    # Derived structure
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def layout(self) -> PacketLayout:
+        """The BS-CSR packet layout implied by M bound and value width."""
+        return solve_layout(self.max_columns, self.value_bits, self.packet_bits)
+
+    @cached_property
+    def codec(self) -> ValueCodec:
+        """Value codec for matrix entries."""
+        return codec_for_design(self.value_bits, self.arithmetic)
+
+    @property
+    def effective_rows_per_packet(self) -> int:
+        """The ``r`` actually used: explicit value or the paper's ceil(B/2)."""
+        if self.rows_per_packet is not None:
+            return self.rows_per_packet
+        return math.ceil(self.layout.lanes / 2)
+
+    @property
+    def resolved_clock_mhz(self) -> float:
+        """Clock in MHz (explicit override or the clocking model)."""
+        if self.clock_mhz is not None:
+            return self.clock_mhz
+        return achievable_clock_mhz(self.value_bits, self.arithmetic, self.local_k)
+
+    @property
+    def accumulate_dtype(self) -> np.dtype:
+        """Accumulator model: exact (float64) for fixed point, float32 for F32."""
+        return np.dtype(np.float32 if self.arithmetic == "float" else np.float64)
+
+    @property
+    def uram_replicas(self) -> int:
+        """Replicas of x per core: ceil(B/2) for dual-port URAM."""
+        return -(-self.layout.lanes // 2)
+
+    def quantize_query(self, x: np.ndarray) -> np.ndarray:
+        """Quantise the query vector as stored in URAM.
+
+        Fixed-point designs store x at 32 bits (Q1.31, Section IV-A's
+        worst-case sizing; the signed extension uses sQ1.30, also 32 bits);
+        the float design stores float32.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if self.arithmetic == "float":
+            return x.astype(np.float32).astype(np.float64)
+        if self.arithmetic == "signed":
+            return _SIGNED_QUERY_FORMAT.quantize(x)
+        return Q1_31.quantize(x)
+
+    def with_cores(self, cores: int) -> "AcceleratorDesign":
+        """A copy with a different core count (for the Fig. 6a scaling study)."""
+        return replace(self, name=f"{self.base_name} {cores}C", cores=cores)
+
+    @property
+    def base_name(self) -> str:
+        """Name without the core-count suffix."""
+        return self.name.rsplit(" ", 1)[0] if self.name.endswith("C") else self.name
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"{self.name}: {self.value_bits}-bit {self.arithmetic}, "
+            f"{self.cores} cores, k={self.local_k}, r={self.effective_rows_per_packet}, "
+            f"B={self.layout.lanes}, {self.resolved_clock_mhz:.0f} MHz"
+        )
+
+
+#: The four design points of Table II (20/25/32-bit fixed, float32; 32 cores).
+PAPER_DESIGNS: dict[str, AcceleratorDesign] = {
+    "20b": AcceleratorDesign(name="FPGA 20b 32C", value_bits=20, arithmetic="fixed"),
+    "25b": AcceleratorDesign(name="FPGA 25b 32C", value_bits=25, arithmetic="fixed"),
+    "32b": AcceleratorDesign(name="FPGA 32b 32C", value_bits=32, arithmetic="fixed"),
+    "f32": AcceleratorDesign(name="FPGA F32 32C", value_bits=32, arithmetic="float"),
+}
+
+
+def design_by_name(name: str) -> AcceleratorDesign:
+    """Look up a paper design by its short key ('20b', '25b', '32b', 'f32')."""
+    try:
+        return PAPER_DESIGNS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown design {name!r}; expected one of {sorted(PAPER_DESIGNS)}"
+        ) from exc

@@ -1,0 +1,118 @@
+"""Per-core timing model (Section IV: one packet per cycle per core).
+
+A core consumes one 512-bit packet per clock cycle when the pipeline's
+initiation interval is 1 and its HBM channel can deliver packets that fast.
+The steady-state packet rate is therefore::
+
+    rate = min(clock / II, channel_sustained_bandwidth / packet_bytes)
+
+The paper's fixed-point designs are *memory-bound* (253 MHz consumption vs
+~130 M packets/s sustained delivery), which is why their throughput scales
+with B (non-zeros per packet) and not with the clock; the float32 design is
+*compute-bound* (II ≈ 3 from the floating-point accumulation chain), which
+reproduces the roughly-halved F32 bars of Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.calibration import CALIBRATION, CalibrationConstants
+from repro.hw.design import AcceleratorDesign
+from repro.hw.hbm import ALVEO_U280_HBM, HBMConfig
+
+__all__ = ["CoreTiming", "FPGACoreModel"]
+
+
+@dataclass(frozen=True)
+class CoreTiming:
+    """Timing of one core processing one partition stream."""
+
+    n_packets: int
+    cycles: float
+    seconds: float
+    packet_rate: float
+    bound: str  # "memory" or "compute"
+
+    @property
+    def effective_bandwidth_bps(self) -> float:
+        """Bytes/s actually pulled from the channel while streaming."""
+        if self.seconds == 0.0:
+            return 0.0
+        return self.n_packets * 64 / self.seconds
+
+
+class FPGACoreModel:
+    """Steady-state timing of one core attached to one HBM channel."""
+
+    def __init__(
+        self,
+        design: AcceleratorDesign,
+        hbm: HBMConfig = ALVEO_U280_HBM,
+        constants: CalibrationConstants = CALIBRATION,
+    ):
+        self.design = design
+        self.hbm = hbm
+        self.constants = constants
+
+    @property
+    def initiation_interval(self) -> float:
+        """Pipeline II: 1 for fixed point, ~3 for the float32 accumulator."""
+        if self.design.arithmetic == "float":
+            return self.constants.float_initiation_interval
+        return self.constants.fixed_point_initiation_interval
+
+    @property
+    def compute_packet_rate(self) -> float:
+        """Packets/s the pipeline can absorb (clock / II)."""
+        return self.design.resolved_clock_mhz * 1e6 / self.initiation_interval
+
+    @property
+    def memory_packet_rate(self) -> float:
+        """Packets/s one channel can sustain end-to-end."""
+        return self.hbm.channel_sustained_bps / self.design.layout.packet_bytes
+
+    @property
+    def packet_rate(self) -> float:
+        """Steady-state packets/s: the binding constraint of the two."""
+        return min(self.compute_packet_rate, self.memory_packet_rate)
+
+    @property
+    def bound(self) -> str:
+        """Which constraint binds: "memory" or "compute"."""
+        return (
+            "compute"
+            if self.compute_packet_rate < self.memory_packet_rate
+            else "memory"
+        )
+
+    def time_for_packets(self, n_packets: int) -> CoreTiming:
+        """Time for a core to stream and process ``n_packets`` packets."""
+        if n_packets < 0:
+            raise ConfigurationError(f"n_packets must be >= 0, got {n_packets}")
+        rate = self.packet_rate
+        fill = self.constants.pipeline_fill_cycles
+        clock_hz = self.design.resolved_clock_mhz * 1e6
+        seconds = n_packets / rate + (fill / clock_hz if n_packets else 0.0)
+        cycles = seconds * clock_hz
+        return CoreTiming(
+            n_packets=n_packets,
+            cycles=cycles,
+            seconds=seconds,
+            packet_rate=rate,
+            bound=self.bound,
+        )
+
+    def throughput_nnz_per_s(self, nnz_per_packet: float | None = None) -> float:
+        """Steady-state non-zeros/s of one core.
+
+        ``nnz_per_packet`` defaults to the layout's full B (dense packets).
+        """
+        if nnz_per_packet is None:
+            nnz_per_packet = float(self.design.layout.lanes)
+        if nnz_per_packet <= 0:
+            raise ConfigurationError(
+                f"nnz_per_packet must be > 0, got {nnz_per_packet}"
+            )
+        return self.packet_rate * nnz_per_packet

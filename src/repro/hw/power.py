@@ -1,0 +1,74 @@
+"""Power models (Table II's power column and Section V-B).
+
+The FPGA model is static + activity-weighted dynamic power, fitted to the
+four measured design points (34/35/35/45 W, tolerance ±1 W).  CPU/GPU/host
+draw the constants the paper reports from its external power meter; they are
+kept in :mod:`repro.hw.calibration`.
+
+Power efficiency (performance per watt) drives the paper's headline claims:
+~400x vs the CPU and 14.2x vs the GPU (7.7x when both include an equal host
+machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.hw.calibration import CALIBRATION, CalibrationConstants
+from repro.hw.resources import ResourceModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.design import AcceleratorDesign
+
+__all__ = ["estimate_fpga_power_w", "PowerBudget", "performance_per_watt"]
+
+
+def estimate_fpga_power_w(
+    design: "AcceleratorDesign",
+    constants: CalibrationConstants = CALIBRATION,
+) -> float:
+    """Board power of an accelerator design in watts (Table II column)."""
+    model = ResourceModel(constants=constants)
+    total = model.total(design)
+    activity = constants.fpga_float_activity_factor if design.arithmetic == "float" else 1.0
+    dynamic = (
+        constants.fpga_lut_power_w_per_mhz * total.lut * activity
+        + constants.fpga_dsp_power_w_per_mhz * total.dsp
+    ) * design.resolved_clock_mhz
+    return constants.fpga_static_power_w + dynamic
+
+
+@dataclass(frozen=True)
+class PowerBudget:
+    """Execution power of one platform, with and without the host server."""
+
+    name: str
+    device_w: float
+    host_w: float
+
+    def __post_init__(self) -> None:
+        if self.device_w <= 0 or self.host_w < 0:
+            raise ConfigurationError(
+                f"invalid power budget: device={self.device_w}, host={self.host_w}"
+            )
+
+    @property
+    def total_w(self) -> float:
+        """Device plus host power."""
+        return self.device_w + self.host_w
+
+
+def performance_per_watt(
+    throughput: float, budget: PowerBudget, include_host: bool = False
+) -> float:
+    """Performance/Watt in the paper's sense (non-zeros per second per watt).
+
+    The paper quotes the 14.2x GPU comparison on device power alone and the
+    7.7x variant with an equal host machine included.
+    """
+    if throughput < 0:
+        raise ConfigurationError(f"throughput must be >= 0, got {throughput}")
+    watts = budget.total_w if include_host else budget.device_w
+    return throughput / watts

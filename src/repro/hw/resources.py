@@ -1,0 +1,241 @@
+"""Parametric FPGA resource model (Table II).
+
+Structure of the model (constants fitted against Table II, see
+:mod:`repro.hw.calibration`):
+
+* **LUT/FF** — ``shell + cores x (base + unit x B x (V + 32) x float_factor)``:
+  per-lane datapath width drives the scatter/aggregate logic.  The per-core
+  part is additionally scaled by the ``r`` (rows-per-packet) budget — the
+  paper reports up to 50% core-resource savings from tracking only
+  ``B/4 < r < B/2`` rows per packet (Section IV-B); the Table II anchors
+  use ``r = ceil(B/2)``.
+* **BRAM** — shell/interconnect dominated plus small per-core FIFOs
+  (utilisation is a flat 20% across all four designs).
+* **URAM** — ``ceil(B/2)`` replicas of ``x`` plus two control banks per core
+  (exactly reproduces 33/30/27/26%).
+* **DSP** — per-lane multiplier cost by value width plus a per-core base.
+
+Fit quality (asserted by tests): every Table II utilisation within ±2
+percentage points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hw.calibration import CALIBRATION, CalibrationConstants
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.hw.design import AcceleratorDesign
+
+__all__ = [
+    "ResourceUsage",
+    "ResourceModel",
+    "U280_AVAILABLE",
+    "estimate_core_resources",
+    "estimate_total_resources",
+    "max_cores_placeable",
+]
+
+_X_BITS = 32  # query-vector entries are stored at 32 bits (Section IV-A)
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """A bundle of the five FPGA resource types."""
+
+    lut: float
+    ff: float
+    bram: float
+    uram: float
+    dsp: float
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            lut=self.lut + other.lut,
+            ff=self.ff + other.ff,
+            bram=self.bram + other.bram,
+            uram=self.uram + other.uram,
+            dsp=self.dsp + other.dsp,
+        )
+
+    def scale(self, factor: float) -> "ResourceUsage":
+        """Multiply every resource by ``factor`` (e.g. core count)."""
+        return ResourceUsage(
+            lut=self.lut * factor,
+            ff=self.ff * factor,
+            bram=self.bram * factor,
+            uram=self.uram * factor,
+            dsp=self.dsp * factor,
+        )
+
+    def utilization(self, available: "ResourceUsage") -> dict[str, float]:
+        """Fractional utilisation against an availability budget."""
+        return {
+            "LUT": self.lut / available.lut,
+            "FF": self.ff / available.ff,
+            "BRAM": self.bram / available.bram,
+            "URAM": self.uram / available.uram,
+            "DSP": self.dsp / available.dsp,
+        }
+
+    def fits(self, available: "ResourceUsage") -> bool:
+        """True when every resource fits the budget."""
+        return all(v <= 1.0 for v in self.utilization(available).values())
+
+
+#: Resources of the xcu280-fsvh2892-2L-e as reported in Table II.
+U280_AVAILABLE = ResourceUsage(
+    lut=1_097_419, ff=2_180_971, bram=1_812, uram=960, dsp=9_020
+)
+
+
+def _dsp_per_lane_fixed(value_bits: int) -> float:
+    """DSP48E2 slices per fixed-point lane multiplier (val x 32-bit x).
+
+    Piecewise in the value width; anchored at the paper's 20/25/32-bit
+    design points (1/2/4 DSP per lane once the per-core base is removed).
+    """
+    if value_bits <= 20:
+        return 1.0
+    if value_bits <= 25:
+        return 2.0
+    if value_bits <= 27:
+        return 3.0
+    return 4.0
+
+
+@dataclass(frozen=True)
+class ResourceModel:
+    """Resource estimator driven by a calibration registry."""
+
+    constants: CalibrationConstants = CALIBRATION
+    available: ResourceUsage = U280_AVAILABLE
+
+    def core(self, design: "AcceleratorDesign") -> ResourceUsage:
+        """Estimated resources of a single core."""
+        c = self.constants
+        lanes = design.layout.lanes
+        value_bits = design.value_bits
+        is_float = design.arithmetic == "float"
+
+        lane_bits = lanes * (value_bits + _X_BITS)
+        lut = c.lut_core_base + c.lut_per_lane_bit * lane_bits * (
+            c.lut_float_factor if is_float else 1.0
+        )
+        ff = c.ff_core_base + c.ff_per_lane_bit * lane_bits * (
+            c.ff_float_factor if is_float else 1.0
+        )
+        row_scale = self._row_budget_scale(design)
+        lut *= row_scale
+        ff *= row_scale
+
+        uram_blocks = design.uram_replicas * self._uram_blocks_per_replica(design) + 2
+        dsp_lane = (
+            c.dsp_float_per_lane if is_float else _dsp_per_lane_fixed(value_bits)
+        )
+        return ResourceUsage(
+            lut=lut,
+            ff=ff,
+            bram=c.bram_per_core,
+            uram=float(uram_blocks),
+            dsp=c.dsp_core_base + dsp_lane * lanes,
+        )
+
+    def shell(self) -> ResourceUsage:
+        """Static platform/interconnect resources (independent of cores)."""
+        c = self.constants
+        return ResourceUsage(
+            lut=c.lut_shell, ff=c.ff_shell, bram=c.bram_shell, uram=0.0, dsp=0.0
+        )
+
+    def total(self, design: "AcceleratorDesign") -> ResourceUsage:
+        """Shell plus all cores."""
+        return self.shell() + self.core(design).scale(design.cores)
+
+    def utilization(self, design: "AcceleratorDesign") -> dict[str, float]:
+        """Fractional utilisation of the full design (Table II's rows)."""
+        return self.total(design).utilization(self.available)
+
+    def max_cores(self, design: "AcceleratorDesign") -> int:
+        """Largest core count fitting the device (resource-wise).
+
+        The paper notes the HBM channel count (32), not area, is the binding
+        constraint for its low-profile cores; this lets tests verify that.
+        """
+        core = self.core(design)
+        shell = self.shell()
+        budget = {
+            "lut": self.available.lut - shell.lut,
+            "ff": self.available.ff - shell.ff,
+            "bram": self.available.bram - shell.bram,
+            "uram": self.available.uram - shell.uram,
+            "dsp": self.available.dsp - shell.dsp,
+        }
+        per_core = {
+            "lut": core.lut,
+            "ff": core.ff,
+            "bram": core.bram,
+            "uram": core.uram,
+            "dsp": core.dsp,
+        }
+        limits = [
+            math.floor(budget[k] / per_core[k])
+            for k in budget
+            if per_core[k] > 0
+        ]
+        if not limits:
+            raise ConfigurationError("core consumes no resources; model misuse")
+        return max(0, min(limits))
+
+    def check_fits(self, design: "AcceleratorDesign") -> None:
+        """Raise :class:`CapacityError` when the design exceeds the device."""
+        total = self.total(design)
+        if not total.fits(self.available):
+            util = total.utilization(self.available)
+            over = {k: f"{v:.0%}" for k, v in util.items() if v > 1.0}
+            raise CapacityError(
+                f"design '{design.name}' does not fit the device: {over}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _row_budget_scale(self, design: "AcceleratorDesign") -> float:
+        """LUT/FF scaling with the rows-per-packet budget ``r``.
+
+        Anchored so the Table II designs (r = ceil(B/2)) scale by 1.0;
+        a full r = B design costs 1.5x, and r = B/4 costs 0.75x — i.e.
+        "resource savings up to 50%" going from r = B to r = B/4.
+        """
+        lanes = design.layout.lanes
+        anchor_r = math.ceil(lanes / 2)
+        r = design.effective_rows_per_packet
+        frac = self.constants.row_logic_fraction
+        return (1.0 - frac) + frac * (r / anchor_r)
+
+    def _uram_blocks_per_replica(self, design: "AcceleratorDesign") -> int:
+        """URAM blocks per replica of x (1 for the paper's M <= 1024)."""
+        replica_bytes = math.ceil(design.max_columns * _X_BITS / 8)
+        return max(1, -(-replica_bytes // 36864))
+
+
+_DEFAULT_MODEL = ResourceModel()
+
+
+def estimate_core_resources(design: "AcceleratorDesign") -> ResourceUsage:
+    """Single-core resources under the default calibration."""
+    return _DEFAULT_MODEL.core(design)
+
+
+def estimate_total_resources(design: "AcceleratorDesign") -> ResourceUsage:
+    """Full-design resources under the default calibration."""
+    return _DEFAULT_MODEL.total(design)
+
+
+def max_cores_placeable(design: "AcceleratorDesign") -> int:
+    """Area-limited core count under the default calibration."""
+    return _DEFAULT_MODEL.max_cores(design)

@@ -1,0 +1,113 @@
+"""URAM model for the replicated query vector (Section IV-A).
+
+The dense query ``x`` lives on-chip in URAM so that every lane of a packet
+can resolve ``x[idx]`` in one cycle.  A URAM bank has two read ports, so a
+core performing ``B`` random reads per cycle replicates ``x`` ``ceil(B/2)``
+times.  The paper bounds the supported vector size at ~80 000 entries in the
+worst case (32-bit values, 32 cores, 8 replicas per core) against its stated
+~90 MB URAM budget.
+
+Physical note (DESIGN.md §5): the U280 actually provides 960 URAM blocks x
+288 Kb = 34.56 MB.  The default spec reproduces the paper's stated budget so
+its capacity claims replay; ``ALVEO_U280_URAM_PHYSICAL`` models the silicon.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "URAMSpec",
+    "ALVEO_U280_URAM",
+    "ALVEO_U280_URAM_PHYSICAL",
+    "replicas_needed",
+    "blocks_per_replica",
+    "max_vector_size",
+    "check_vector_fits",
+]
+
+
+@dataclass(frozen=True)
+class URAMSpec:
+    """A URAM budget: block geometry and total capacity."""
+
+    total_bytes: int
+    block_bytes: int = 36864  # 288 Kb per UltraRAM block
+    read_ports: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.total_bytes, "total_bytes")
+        check_positive_int(self.block_bytes, "block_bytes")
+        check_positive_int(self.read_ports, "read_ports")
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of URAM blocks in the budget."""
+        return self.total_bytes // self.block_bytes
+
+
+#: The paper's stated budget ("a URAM size of around 90MB").
+ALVEO_U280_URAM = URAMSpec(total_bytes=90_000_000)
+
+#: The U280's physical URAM: 960 blocks x 36 KB.
+ALVEO_U280_URAM_PHYSICAL = URAMSpec(total_bytes=960 * 36864)
+
+
+def replicas_needed(lanes: int, read_ports: int = 2) -> int:
+    """Copies of ``x`` required for ``lanes`` random reads per cycle.
+
+    Each bank serves ``read_ports`` reads per cycle, hence ``ceil(B / ports)``
+    replicas (the paper's ``ceil(B/2)``).
+    """
+    lanes = check_positive_int(lanes, "lanes")
+    read_ports = check_positive_int(read_ports, "read_ports")
+    return -(-lanes // read_ports)
+
+
+def blocks_per_replica(vector_size: int, x_bits: int, spec: URAMSpec = ALVEO_U280_URAM) -> int:
+    """URAM blocks holding one replica of an ``x`` with ``vector_size`` entries."""
+    vector_size = check_positive_int(vector_size, "vector_size")
+    x_bits = check_positive_int(x_bits, "x_bits")
+    replica_bytes = math.ceil(vector_size * x_bits / 8)
+    return max(1, -(-replica_bytes // spec.block_bytes))
+
+
+def max_vector_size(
+    cores: int,
+    lanes: int,
+    x_bits: int = 32,
+    spec: URAMSpec = ALVEO_U280_URAM,
+) -> int:
+    """Largest supported ``x`` length for a full multi-core design.
+
+    Reproduces Section IV-A: 32 cores, 8 replicas, 32-bit values against the
+    ~90 MB budget supports vectors up to ~80 000 entries.
+    """
+    cores = check_positive_int(cores, "cores")
+    replicas = replicas_needed(lanes, spec.read_ports)
+    bytes_per_entry = x_bits / 8
+    per_copy = bytes_per_entry * replicas * cores
+    if per_copy <= 0:
+        raise ConfigurationError("invalid replica accounting")
+    return int(spec.total_bytes // per_copy)
+
+
+def check_vector_fits(
+    vector_size: int,
+    cores: int,
+    lanes: int,
+    x_bits: int = 32,
+    spec: URAMSpec = ALVEO_U280_URAM,
+) -> None:
+    """Raise :class:`CapacityError` when ``x`` cannot be replicated on chip."""
+    limit = max_vector_size(cores, lanes, x_bits, spec)
+    if vector_size > limit:
+        raise CapacityError(
+            f"x with {vector_size} entries exceeds the URAM budget: "
+            f"{cores} cores x {replicas_needed(lanes, spec.read_ports)} replicas of "
+            f"{x_bits}-bit entries support at most {limit} entries"
+        )

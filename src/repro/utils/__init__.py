@@ -1,0 +1,21 @@
+"""Shared utilities: validation helpers, RNG management, table rendering."""
+
+from repro.utils.rng import derive_rng, spawn_rngs
+from repro.utils.tables import format_table, format_series
+from repro.utils.validation import (
+    check_positive_int,
+    check_non_negative_int,
+    check_in_range,
+    check_one_of,
+)
+
+__all__ = [
+    "derive_rng",
+    "spawn_rngs",
+    "format_table",
+    "format_series",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_in_range",
+    "check_one_of",
+]

@@ -1,0 +1,99 @@
+"""Plain-text table and series rendering for experiment reports.
+
+The experiment harness prints every reproduced table/figure as an ASCII
+table with the paper's reported value next to the measured one.  Keeping the
+renderer here (rather than in each experiment) guarantees a uniform look in
+``EXPERIMENTS.md`` and in benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_cell"]
+
+
+def format_cell(value: Any, float_digits: int = 3) -> str:
+    """Render a single table cell.
+
+    Floats are rendered with a fixed number of significant decimals, ``None``
+    as an em-dash, everything else with ``str``.
+    """
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        magnitude = abs(value)
+        if magnitude != 0 and (magnitude >= 1e5 or magnitude < 1e-3):
+            return f"{value:.{float_digits}e}"
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Raises ``ValueError`` when a row's length does not match the header — a
+    malformed experiment result should fail loudly, not render raggedly.
+    """
+    header_cells = [str(h) for h in headers]
+    body = []
+    for row in rows:
+        cells = [format_cell(cell, float_digits) for cell in row]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(header_cells)} columns: {row!r}"
+            )
+        body.append(cells)
+
+    widths = [len(h) for h in header_cells]
+    for cells in body:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(separator)))
+    lines.append(render_row(header_cells))
+    lines.append(separator)
+    lines.extend(render_row(cells) for cells in body)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: Mapping[str, Sequence[Any]],
+    title: str | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Render figure-style data (one x-axis, several named series) as a table.
+
+    This is how reproduced *figures* are reported: each series becomes a
+    column so the paper's curve shapes can be compared point by point.
+    """
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[Any] = [x]
+        for name, values in series.items():
+            if len(values) != len(x_values):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} points, expected {len(x_values)}"
+                )
+            row.append(values[i])
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_digits=float_digits)

@@ -1,0 +1,91 @@
+"""Argument validation helpers.
+
+These helpers normalise the library's error behaviour: invalid parameters
+always raise :class:`repro.errors.ConfigurationError` with a message naming
+the offending argument, which keeps call sites short and the test-suite's
+failure-injection assertions uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_in_range",
+    "check_one_of",
+]
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer >= 1 and return it as ``int``.
+
+    Booleans are rejected (they are ``int`` subclasses but never meaningful
+    as counts or sizes).
+    """
+    if isinstance(value, bool) or not _is_integral(value):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < 1:
+        raise ConfigurationError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_non_negative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer >= 0 and return it as ``int``."""
+    if isinstance(value, bool) or not _is_integral(value):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: float | None = None,
+    high: float | None = None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Validate that a numeric value lies within ``[low, high]`` and return it.
+
+    Either bound may be ``None`` (unbounded).  Inclusivity of each bound is
+    controlled independently so callers can express open intervals.
+    """
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} must be numeric, got {value!r}") from exc
+    if value != value:  # NaN
+        raise ConfigurationError(f"{name} must not be NaN")
+    if low is not None:
+        if low_inclusive and value < low:
+            raise ConfigurationError(f"{name} must be >= {low}, got {value}")
+        if not low_inclusive and value <= low:
+            raise ConfigurationError(f"{name} must be > {low}, got {value}")
+    if high is not None:
+        if high_inclusive and value > high:
+            raise ConfigurationError(f"{name} must be <= {high}, got {value}")
+        if not high_inclusive and value >= high:
+            raise ConfigurationError(f"{name} must be < {high}, got {value}")
+    return value
+
+
+def check_one_of(value: Any, name: str, choices: Iterable[Any]) -> Any:
+    """Validate that ``value`` is one of ``choices`` and return it."""
+    choices = tuple(choices)
+    if value not in choices:
+        raise ConfigurationError(f"{name} must be one of {choices}, got {value!r}")
+    return value
+
+
+def _is_integral(value: Any) -> bool:
+    """Return True for Python ints and NumPy integer scalars."""
+    if isinstance(value, int):
+        return True
+    return hasattr(value, "dtype") and getattr(value.dtype, "kind", "") in "iu" and getattr(value, "ndim", 1) == 0

@@ -1,0 +1,43 @@
+"""Shared fixtures: small deterministic matrices and queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import synthetic_embeddings
+from repro.utils.rng import sample_unit_queries
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for ad-hoc draws inside tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_matrix():
+    """A 2 000 x 256 uniform embedding matrix (avg 12 nnz/row)."""
+    return synthetic_embeddings(
+        n_rows=2000, n_cols=256, avg_nnz=12, distribution="uniform", seed=7
+    )
+
+
+@pytest.fixture
+def gamma_matrix():
+    """A 2 000 x 256 Γ-distributed matrix (has empty rows)."""
+    return synthetic_embeddings(
+        n_rows=2000, n_cols=256, avg_nnz=8, distribution="gamma", seed=11
+    )
+
+
+@pytest.fixture
+def query(rng):
+    """One L2-normalised non-negative query of dimension 256."""
+    return sample_unit_queries(rng, 1, 256)[0]
+
+
+@pytest.fixture
+def queries(rng):
+    """Five L2-normalised non-negative queries of dimension 256."""
+    return sample_unit_queries(rng, 5, 256)

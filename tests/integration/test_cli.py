@@ -1,0 +1,40 @@
+"""Integration tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_experiments_accepted(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--quick"])
+        assert args.experiment == "table1"
+        assert args.quick
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table9"])
+
+    def test_quick_and_paper_scale_conflict(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--quick", "--paper-scale"])
+
+
+class TestMain:
+    def test_table1_prints_report(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "monte carlo" in out
+
+    def test_output_file_written(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["figure3", "--quick", "-o", str(target)]) == 0
+        capsys.readouterr()
+        assert "BS-CSR" in target.read_text()
+
+    def test_seed_and_rows_overrides(self, capsys):
+        assert main(["table1", "--quick", "--seed", "7"]) == 0
+        capsys.readouterr()

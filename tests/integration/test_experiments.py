@@ -1,0 +1,73 @@
+"""Integration tests: every experiment runner produces a sound report."""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentConfig,
+    run_ablations,
+    run_figure3,
+    run_figure6,
+    run_figure7,
+    run_table1,
+    run_table2,
+)
+
+QUICK = ExperimentConfig.quick()
+
+
+class TestRunners:
+    def test_registry_covers_every_table_and_figure(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "table2", "table3", "figure3",
+            "figure5", "figure6", "figure7", "ablations",
+        }
+
+    def test_table1_matches_paper_within_noise(self):
+        report = run_table1(QUICK)
+        assert report.data["max_abs_error_vs_paper"] < 0.02
+        assert "Table I" in report.render()
+
+    def test_table2_within_tolerance(self):
+        report = run_table2(QUICK)
+        assert report.data["worst_utilization_gap"] < 0.02
+        for key, entry in report.data["results"].items():
+            assert entry["measured"]["power_w"] == pytest.approx(
+                entry["paper"]["power_w"], abs=1.0
+            )
+
+    def test_figure3_capacities(self):
+        report = run_figure3(QUICK)
+        assert report.data["naive_coo"] == 5
+        assert report.data["optimized_coo"] == 8
+        assert report.data["bscsr"] == 15
+
+    def test_figure6_linear_scaling_and_oi_gain(self):
+        report = run_figure6(QUICK)
+        assert report.data["oi_gain"] == pytest.approx(3.0)
+        points = report.data["scaling_bscsr"]
+        assert points[-1].performance == pytest.approx(
+            points[0].performance * 32, rel=1e-6
+        )
+
+    def test_figure7_floors_hold(self):
+        report = run_figure7(QUICK)
+        floors = report.data["floors"]
+        assert floors["precision"] >= 0.90
+        assert floors["kendall"] >= 0.85
+        assert floors["ndcg"] >= 0.90
+
+    def test_ablations_claims(self):
+        report = run_ablations(QUICK)
+        assert report.data["r_saving_at_quarter"] == pytest.approx(0.5, abs=0.05)
+        assert report.data["uram_limit"] >= 80_000
+        assert report.data["core_scaling_linearity"] > 0.6
+
+    @pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+    def test_all_reports_render(self, name):
+        if name in ("figure5", "table3"):
+            pytest.skip("paper-scale runners covered by test_paper_claims")
+        report = ALL_EXPERIMENTS[name](QUICK)
+        text = report.render()
+        assert text.strip()
+        assert report.experiment_id in text

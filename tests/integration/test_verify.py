@@ -1,0 +1,24 @@
+"""Integration tests for the self-check battery."""
+
+from repro.verify import main, run_self_check
+
+
+class TestSelfCheck:
+    def test_all_checks_pass(self):
+        results = run_self_check(seed=0)
+        failed = [r.name for r in results if not r.passed]
+        assert not failed, f"self-checks failed: {failed}"
+
+    def test_nine_checks_registered(self):
+        assert len(run_self_check(seed=1)) == 9
+
+    def test_deterministic_for_seed(self):
+        a = [r.detail for r in run_self_check(seed=3)]
+        b = [r.detail for r in run_self_check(seed=3)]
+        assert a == b
+
+    def test_main_exit_code_and_output(self, capsys):
+        assert main() == 0
+        out = capsys.readouterr().out
+        assert "9/9 checks passed" in out
+        assert "PASS" in out

@@ -1,0 +1,56 @@
+"""Property-based tests for fixed-point quantisation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.arithmetic.fixed_point import FixedPointFormat
+
+formats = st.builds(
+    FixedPointFormat,
+    integer_bits=st.integers(1, 4),
+    fraction_bits=st.integers(1, 40),
+    signed=st.just(False),
+)
+
+value_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(max_dims=1, max_side=50),
+    elements=st.floats(-4.0, 4.0, allow_nan=False),
+)
+
+
+class TestQuantisationProperties:
+    @given(fmt=formats, values=value_arrays)
+    @settings(max_examples=80, deadline=None)
+    def test_idempotent(self, fmt, values):
+        once = fmt.quantize(values)
+        assert np.array_equal(fmt.quantize(once), once)
+
+    @given(fmt=formats, values=value_arrays)
+    @settings(max_examples=80, deadline=None)
+    def test_error_bounded_in_range(self, fmt, values):
+        in_range = values[(values >= fmt.min_value) & (values <= fmt.max_value)]
+        err = np.abs(fmt.quantize(in_range) - in_range)
+        assert (err <= fmt.resolution / 2 + 1e-15).all()
+
+    @given(fmt=formats, values=value_arrays)
+    @settings(max_examples=80, deadline=None)
+    def test_monotone(self, fmt, values):
+        ordered = np.sort(values)
+        quantised = fmt.quantize(ordered)
+        assert (np.diff(quantised) >= 0).all()
+
+    @given(fmt=formats, values=value_arrays)
+    @settings(max_examples=80, deadline=None)
+    def test_output_within_format_range(self, fmt, values):
+        quantised = fmt.quantize(values)
+        assert (quantised >= fmt.min_value).all()
+        assert (quantised <= fmt.max_value).all()
+
+    @given(fmt=formats, values=value_arrays)
+    @settings(max_examples=80, deadline=None)
+    def test_raw_roundtrip(self, fmt, values):
+        raw = fmt.to_raw(values)
+        assert np.array_equal(fmt.to_raw(fmt.from_raw(raw)), raw)

@@ -1,0 +1,130 @@
+"""Property-based tests for Top-K selection, merging and the tracker."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.approx import merge_topk_candidates
+from repro.core.partition import partition_rows
+from repro.core.reference import TopKResult, topk_from_scores
+from repro.core.topk_tracker import TopKTracker
+
+score_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=1, min_side=1, max_side=200),
+    elements=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+
+class TestTopKSelection:
+    @given(scores=score_arrays, k=st.integers(1, 50))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_stable_sort(self, scores, k):
+        result = topk_from_scores(scores, k)
+        expected = np.argsort(-scores, kind="stable")[: min(k, len(scores))]
+        assert result.indices.tolist() == expected.tolist()
+
+    @given(scores=score_arrays, k=st.integers(1, 50))
+    @settings(max_examples=100, deadline=None)
+    def test_values_sorted_descending(self, scores, k):
+        result = topk_from_scores(scores, k)
+        assert (np.diff(result.values) <= 0).all()
+
+    @given(scores=score_arrays, k=st.integers(1, 50))
+    @settings(max_examples=100, deadline=None)
+    def test_no_better_value_excluded(self, scores, k):
+        result = topk_from_scores(scores, k)
+        if len(result) < len(scores):
+            excluded = np.setdiff1d(np.arange(len(scores)), result.indices)
+            assert scores[excluded].max() <= result.values.min()
+
+
+class TestTrackerProperties:
+    @given(
+        values=hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(min_dims=1, max_dims=1, min_side=1, max_side=120),
+            elements=st.floats(0.0, 1.0, allow_nan=False),
+        ),
+        k=st.integers(1, 16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_tracker_keeps_k_largest_values(self, values, k):
+        tracker = TopKTracker(k)
+        tracker.insert_many(np.arange(len(values)), values)
+        kept = np.sort(tracker.result().values)[::-1]
+        expected = np.sort(values)[::-1][: min(k, len(values))]
+        assert np.array_equal(kept, expected)
+
+    @given(
+        values=hnp.arrays(
+            dtype=np.float64,
+            shape=st.just((60,)),
+            elements=st.floats(0.0, 1.0, allow_nan=False),
+        ),
+        k=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tracker_threshold_never_decreases(self, values, k):
+        tracker = TopKTracker(k)
+        last = -np.inf
+        for row, value in enumerate(values):
+            tracker.insert(row, float(value))
+            assert tracker.worst_value >= last
+            last = tracker.worst_value
+
+
+class TestMergeProperties:
+    @given(
+        scores=score_arrays,
+        n_partitions=st.integers(1, 8),
+        top_k=st.integers(1, 30),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_merge_of_full_partitions_equals_exact(self, scores, n_partitions, top_k):
+        """Merging *complete* per-partition rankings is lossless."""
+        candidates = []
+        for part in partition_rows(len(scores), n_partitions):
+            if part.n_rows == 0:
+                continue
+            local = topk_from_scores(scores[part.start : part.stop], part.n_rows)
+            candidates.append(
+                TopKResult(indices=local.indices + part.start, values=local.values)
+            )
+        merged = merge_topk_candidates(candidates, top_k)
+        exact = topk_from_scores(scores, top_k)
+        assert merged.indices.tolist() == exact.indices.tolist()
+
+    @given(scores=score_arrays, n_partitions=st.integers(1, 8),
+           local_k=st.integers(1, 10), top_k=st.integers(1, 30))
+    @settings(max_examples=80, deadline=None)
+    def test_truncated_merge_is_subset_with_no_false_order(
+        self, scores, n_partitions, local_k, top_k
+    ):
+        candidates = []
+        for part in partition_rows(len(scores), n_partitions):
+            if part.n_rows == 0:
+                continue
+            local = topk_from_scores(scores[part.start : part.stop], local_k)
+            candidates.append(
+                TopKResult(indices=local.indices + part.start, values=local.values)
+            )
+        merged = merge_topk_candidates(candidates, top_k)
+        # Values must be genuine and sorted descending.
+        assert (np.diff(merged.values) <= 0).all()
+        for row, value in merged:
+            assert scores[row] == value
+
+
+class TestPartitionProperties:
+    @given(n_rows=st.integers(0, 10_000), n_partitions=st.integers(1, 64))
+    @settings(max_examples=120, deadline=None)
+    def test_partition_invariants(self, n_rows, n_partitions):
+        parts = partition_rows(n_rows, n_partitions)
+        assert len(parts) == n_partitions
+        assert sum(p.n_rows for p in parts) == n_rows
+        sizes = [p.n_rows for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+        for a, b in zip(parts, parts[1:]):
+            assert a.stop == b.start

@@ -1,0 +1,93 @@
+"""Property-based tests for accuracy metrics and layout arithmetic."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import kendall_tau, ndcg_at_k, precision_at_k
+from repro.core.precision_model import expected_precision
+from repro.core.reference import topk_from_scores
+from repro.formats.layout import max_lanes, ptr_field_bits, solve_layout
+
+
+@st.composite
+def two_rankings(draw):
+    universe = draw(st.integers(5, 60))
+    k = draw(st.integers(1, universe))
+    items = list(range(universe))
+    a = draw(st.permutations(items))[:k]
+    b = draw(st.permutations(items))[:k]
+    return np.array(a), np.array(b)
+
+
+class TestMetricProperties:
+    @given(rankings=two_rankings())
+    @settings(max_examples=100, deadline=None)
+    def test_precision_bounds_and_symmetry(self, rankings):
+        a, b = rankings
+        p = precision_at_k(a, b)
+        assert 0.0 <= p <= 1.0
+        assert p == precision_at_k(b, a)
+
+    @given(rankings=two_rankings())
+    @settings(max_examples=100, deadline=None)
+    def test_kendall_bounds_and_self_identity(self, rankings):
+        a, b = rankings
+        assert -1.0 <= kendall_tau(a, b) <= 1.0
+        assert kendall_tau(a, a) >= 1.0 - 1e-12
+
+    @given(seed=st.integers(0, 2**16), k=st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_ndcg_bounds_and_ideal(self, seed, k):
+        scores = np.random.default_rng(seed).random(100)
+        ideal = topk_from_scores(scores, k)
+        assert ndcg_at_k(ideal.indices, ideal, scores, k) >= 0.999999
+        worst = np.argsort(scores, kind="stable")[:k]
+        value = ndcg_at_k(worst, ideal, scores, k)
+        assert 0.0 <= value <= 1.0
+
+
+class TestLayoutProperties:
+    @given(idx_bits=st.integers(1, 32), val_bits=st.integers(1, 64))
+    @settings(max_examples=120, deadline=None)
+    def test_max_lanes_is_maximal_and_feasible(self, idx_bits, val_bits):
+        lanes = max_lanes(idx_bits, val_bits)
+        used = lanes * (ptr_field_bits(lanes) + idx_bits + val_bits) + 1
+        assert used <= 512
+        bigger = lanes + 1
+        used_bigger = bigger * (ptr_field_bits(bigger) + idx_bits + val_bits) + 1
+        assert used_bigger > 512
+
+    @given(n_cols=st.integers(2, 2**20), val_bits=st.integers(4, 64))
+    @settings(max_examples=120, deadline=None)
+    def test_solve_layout_can_index_all_columns(self, n_cols, val_bits):
+        layout = solve_layout(n_cols, val_bits)
+        assert layout.max_index >= n_cols - 1
+
+    @given(val_bits=st.integers(4, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_narrower_values_pack_no_fewer_lanes(self, val_bits):
+        narrow = solve_layout(1024, val_bits)
+        wide = solve_layout(1024, val_bits + 1)
+        assert narrow.lanes >= wide.lanes
+
+
+class TestPrecisionModelProperties:
+    @given(
+        n_rows=st.integers(1_000, 10**6),
+        c=st.integers(1, 64),
+        k=st.integers(1, 16),
+        top_k=st.integers(1, 100),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bounds(self, n_rows, c, k, top_k):
+        p = expected_precision(n_rows, c, k, top_k)
+        assert 0.0 <= p <= 1.0
+
+    @given(n_rows=st.integers(10_000, 10**6), k=st.integers(1, 12),
+           top_k=st.integers(2, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_partitions(self, n_rows, k, top_k):
+        p8 = expected_precision(n_rows, 8, k, top_k)
+        p32 = expected_precision(n_rows, 32, k, top_k)
+        assert p32 >= p8 - 1e-9

@@ -1,0 +1,110 @@
+"""Unit tests for the Figure 7 accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    TopKAccuracy,
+    evaluate_topk,
+    kendall_tau,
+    ndcg_at_k,
+    precision_at_k,
+)
+from repro.core.reference import TopKResult, topk_from_scores
+from repro.errors import ConfigurationError
+
+
+class TestPrecision:
+    def test_perfect(self):
+        assert precision_at_k([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_half(self):
+        assert precision_at_k([1, 2, 3, 4], [1, 2, 9, 8]) == 0.5
+
+    def test_disjoint(self):
+        assert precision_at_k([1, 2], [3, 4]) == 0.0
+
+    def test_order_blind(self):
+        assert precision_at_k([3, 1, 2], [1, 2, 3]) == 1.0
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            precision_at_k([1, 1], [1, 2])
+
+
+class TestKendall:
+    def test_identical_order(self):
+        assert kendall_tau([5, 3, 1], [5, 3, 1]) == 1.0
+
+    def test_reversed_order(self):
+        assert kendall_tau([1, 3, 5], [5, 3, 1]) == -1.0
+
+    def test_partial_overlap_uses_intersection(self):
+        # Common items 5 and 1 keep their relative order.
+        assert kendall_tau([5, 9, 1], [5, 3, 1]) == 1.0
+
+    def test_single_common_item(self):
+        assert kendall_tau([5, 7], [5, 8]) == 1.0
+
+    def test_no_overlap(self):
+        assert kendall_tau([1], [2]) == 0.0
+
+    def test_both_empty(self):
+        assert kendall_tau([], []) == 1.0
+
+    def test_one_swap_near_one(self):
+        tau = kendall_tau([1, 2, 3, 4, 6], [1, 2, 3, 6, 4])
+        assert 0.5 < tau < 1.0
+
+
+class TestNdcg:
+    def _ideal(self, scores, k):
+        return topk_from_scores(scores, k)
+
+    def test_perfect_ranking(self, rng):
+        scores = rng.random(100)
+        ideal = self._ideal(scores, 10)
+        assert ndcg_at_k(ideal.indices, ideal, scores, 10) == pytest.approx(1.0)
+
+    def test_order_sensitivity(self, rng):
+        scores = np.linspace(1.0, 0.01, 100)
+        ideal = self._ideal(scores, 10)
+        shuffled = ideal.indices.copy()[::-1]
+        assert ndcg_at_k(shuffled, ideal, scores, 10) < 1.0
+
+    def test_wrong_items_lower_score(self, rng):
+        scores = np.linspace(1.0, 0.01, 100)
+        ideal = self._ideal(scores, 10)
+        wrong = np.arange(90, 100)  # the lowest-scoring rows
+        assert ndcg_at_k(wrong, ideal, scores, 10) < 0.5
+
+    def test_k_prefix_only(self, rng):
+        scores = rng.random(50)
+        ideal = self._ideal(scores, 5)
+        retrieved = np.concatenate([ideal.indices, np.array([0])])
+        retrieved = np.unique(retrieved)[:6]
+        value = ndcg_at_k(ideal.indices, ideal, scores, 5)
+        assert value == pytest.approx(1.0)
+
+
+class TestEvaluate:
+    def test_perfect_approximation(self, rng):
+        scores = rng.random(200)
+        exact = topk_from_scores(scores, 20)
+        acc = evaluate_topk(exact, exact, scores, 20)
+        assert acc == TopKAccuracy(precision=1.0, kendall=1.0, ndcg=pytest.approx(1.0))
+
+    def test_metrics_dict(self):
+        acc = TopKAccuracy(precision=0.9, kendall=0.8, ndcg=0.95)
+        assert acc.as_dict() == {"precision": 0.9, "kendall": 0.8, "ndcg": 0.95}
+
+    def test_partial_overlap_bounded(self, rng):
+        scores = rng.random(200)
+        exact = topk_from_scores(scores, 20)
+        approx = TopKResult(
+            indices=np.concatenate([exact.indices[:10], np.arange(100, 110)]),
+            values=np.zeros(20),
+        )
+        acc = evaluate_topk(approx, exact, scores, 20)
+        assert acc.precision == 0.5
+        assert 0.0 <= acc.ndcg <= 1.0

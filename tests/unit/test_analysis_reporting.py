@@ -1,0 +1,71 @@
+"""Unit tests for report rendering."""
+
+import pytest
+
+from repro.analysis.reporting import (
+    ExperimentReport,
+    paper_vs_measured_table,
+    ratio_string,
+)
+from repro.errors import ConfigurationError
+from repro.utils.tables import format_series, format_table
+
+
+class TestTables:
+    def test_alignment_and_separator(self):
+        text = format_table(["a", "bb"], [[1, 2], [10, 20]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", "+"}
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456]], float_digits=2)
+        assert "0.12" in text
+
+    def test_none_renders_dash(self):
+        assert "—" in format_table(["v"], [[None]])
+
+    def test_large_float_scientific(self):
+        assert "e+" in format_table(["v"], [[1.5e9]])
+
+    def test_series(self):
+        text = format_series("K", [8, 16], {"a": [1.0, 0.9], "b": [0.8, 0.7]})
+        assert "K" in text and "a" in text and "b" in text
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("K", [8, 16], {"a": [1.0]})
+
+
+class TestReporting:
+    def test_ratio_string(self):
+        assert ratio_string(2.0, 3.0) == "1.50x"
+        assert ratio_string(None, 3.0) == "—"
+        assert ratio_string(0.0, 3.0) == "—"
+
+    def test_paper_vs_measured(self):
+        text = paper_vs_measured_table(
+            [("speed", 100.0, 95.0)], title="t", value_name="x"
+        )
+        assert "0.95x" in text
+
+    def test_report_render(self):
+        report = ExperimentReport(experiment_id="T", title="demo")
+        report.add_table(["a"], [[1]])
+        text = report.render()
+        assert text.startswith("#")
+        assert "T: demo" in text
+
+    def test_empty_section_rejected(self):
+        report = ExperimentReport(experiment_id="T", title="demo")
+        with pytest.raises(ConfigurationError):
+            report.add_section("")

@@ -1,0 +1,101 @@
+"""Unit tests for the roofline and speedup analysis."""
+
+import pytest
+
+from repro.analysis.roofline import (
+    RooflinePoint,
+    bandwidth_ceiling,
+    fpga_scaling_series,
+    platform_comparison_points,
+)
+from repro.analysis.speedup import power_efficiency_ratio, speedup_table
+from repro.errors import ConfigurationError
+from repro.hw.design import PAPER_DESIGNS
+from repro.hw.power import PowerBudget
+
+
+class TestRooflinePoint:
+    def test_ceiling(self):
+        p = RooflinePoint("x", operational_intensity=0.25, performance=1e9,
+                          bandwidth_bps=8e9)
+        assert p.ceiling == 2e9
+        assert p.ceiling_fraction == 0.5
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RooflinePoint("x", -0.1, 1.0, 1.0)
+
+    def test_bandwidth_ceiling_function(self):
+        assert bandwidth_ceiling(0.25, 4e9) == 1e9
+        with pytest.raises(ConfigurationError):
+            bandwidth_ceiling(0.1, 0.0)
+
+
+class TestFpgaScaling:
+    def test_linear_in_cores(self):
+        points = fpga_scaling_series(PAPER_DESIGNS["20b"], [1, 8, 16, 32])
+        base = points[0].performance
+        for cores, point in zip([1, 8, 16, 32], points):
+            assert point.performance == pytest.approx(base * cores, rel=1e-6)
+
+    def test_oi_constant_across_cores(self):
+        points = fpga_scaling_series(PAPER_DESIGNS["20b"], [1, 32])
+        assert points[0].operational_intensity == points[1].operational_intensity
+
+    def test_b5_vs_b15_oi_ratio_is_3(self):
+        b15 = fpga_scaling_series(PAPER_DESIGNS["20b"], [32])[0]
+        b5 = fpga_scaling_series(PAPER_DESIGNS["20b"], [32], avg_nnz_per_packet=5.0)[0]
+        assert b15.operational_intensity / b5.operational_intensity == pytest.approx(3.0)
+        assert b15.performance / b5.performance == pytest.approx(3.0)
+
+    def test_bad_density_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fpga_scaling_series(PAPER_DESIGNS["20b"], [1], avg_nnz_per_packet=99.0)
+
+
+class TestPlatformComparison:
+    def test_fpga_wins_both_axes(self):
+        points = platform_comparison_points(
+            3 * 10**8, 10**7, designs=[PAPER_DESIGNS["20b"]]
+        )
+        fpga = next(p for p in points if p.name.startswith("FPGA"))
+        others = [p for p in points if not p.name.startswith("FPGA")]
+        assert all(fpga.operational_intensity > p.operational_intensity for p in others)
+        assert all(fpga.performance > p.performance for p in others)
+
+    def test_cpu_is_slowest(self):
+        points = platform_comparison_points(3 * 10**8, 10**7, designs=[])
+        cpu = next(p for p in points if p.name.startswith("CPU"))
+        assert cpu.performance == min(p.performance for p in points)
+
+    def test_gpu_f16_higher_oi_than_f32(self):
+        points = platform_comparison_points(3 * 10**8, 10**7, designs=[])
+        f32 = next(p for p in points if "float32" in p.name)
+        f16 = next(p for p in points if "float16" in p.name)
+        assert f16.operational_intensity > f32.operational_intensity
+
+
+class TestSpeedup:
+    def test_table(self):
+        speeds = speedup_table({"CPU": 1.0, "FPGA": 0.01}, baseline="CPU")
+        assert speeds["FPGA"] == pytest.approx(100.0)
+        assert speeds["CPU"] == 1.0
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            speedup_table({"A": 1.0}, baseline="B")
+
+    def test_nonpositive_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            speedup_table({"CPU": 1.0, "X": 0.0}, baseline="CPU")
+
+    def test_power_efficiency_ratio(self):
+        fpga = PowerBudget(name="FPGA", device_w=35, host_w=40)
+        gpu = PowerBudget(name="GPU", device_w=250, host_w=40)
+        ratio = power_efficiency_ratio(106e9, fpga, 51e9, gpu)
+        assert ratio == pytest.approx((106 / 35) / (51 / 250), rel=1e-9)
+
+    def test_power_efficiency_rejects_zero_throughput(self):
+        fpga = PowerBudget(name="FPGA", device_w=35, host_w=40)
+        with pytest.raises(ConfigurationError):
+            power_efficiency_ratio(0.0, fpga, 1.0, fpga)

@@ -1,0 +1,83 @@
+"""Unit tests for value codecs (fixed point, float32, exact)."""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.codecs import (
+    ExactCodec,
+    FixedPointCodec,
+    Float32Codec,
+    codec_for_design,
+)
+from repro.arithmetic.fixed_point import FixedPointFormat, Q1_19
+from repro.errors import ConfigurationError
+
+
+class TestFixedPointCodec:
+    def test_bits_match_format(self):
+        assert FixedPointCodec(Q1_19).bits == 20
+
+    def test_encode_decode_roundtrip_on_grid(self, rng):
+        codec = FixedPointCodec(Q1_19)
+        values = Q1_19.quantize(rng.random(50))
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+    def test_encode_emits_unsigned_codes(self, rng):
+        codes = FixedPointCodec(Q1_19).encode(rng.random(50))
+        assert codes.dtype == np.uint64
+        assert int(codes.max()) < 2**20
+
+    def test_rejects_signed_formats(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointCodec(FixedPointFormat(1, 19, signed=True))
+
+    def test_quantize_equals_format_quantize(self, rng):
+        values = rng.random(100)
+        codec = FixedPointCodec(Q1_19)
+        assert np.array_equal(codec.quantize(values), Q1_19.quantize(values))
+
+
+class TestFloat32Codec:
+    def test_bits(self):
+        assert Float32Codec().bits == 32
+
+    def test_roundtrip_is_float32_cast(self, rng):
+        codec = Float32Codec()
+        values = rng.random(100)
+        expected = values.astype(np.float32).astype(np.float64)
+        assert np.array_equal(codec.quantize(values), expected)
+
+    def test_codes_are_ieee_bit_patterns(self):
+        codec = Float32Codec()
+        assert int(codec.encode(np.array([1.0]))[0]) == 0x3F800000
+
+
+class TestExactCodec:
+    def test_lossless(self, rng):
+        codec = ExactCodec()
+        values = rng.standard_normal(100)
+        assert np.array_equal(codec.quantize(values), values)
+
+    def test_zero_maps_to_zero_code(self):
+        assert int(ExactCodec().encode(np.array([0.0]))[0]) == 0
+
+
+class TestCodecForDesign:
+    @pytest.mark.parametrize("bits", [20, 25, 32])
+    def test_fixed_designs(self, bits):
+        codec = codec_for_design(bits, "fixed")
+        assert codec.bits == bits
+
+    def test_float_design(self):
+        assert isinstance(codec_for_design(32, "float"), Float32Codec)
+
+    def test_nonstandard_fixed_width_synthesised(self):
+        assert codec_for_design(16, "fixed").bits == 16
+
+    def test_float_requires_32_bits(self):
+        with pytest.raises(ConfigurationError):
+            codec_for_design(16, "float")
+
+    def test_unknown_arithmetic_rejected(self):
+        with pytest.raises(ConfigurationError):
+            codec_for_design(20, "posit")

@@ -1,0 +1,67 @@
+"""Unit tests for the CPU baseline (sparse_dot_topn equivalent)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu import CPU_XEON_6248_PAIR, CpuTimingModel, CpuTopKSpmv
+from repro.core.reference import exact_topk_spmv
+from repro.errors import ConfigurationError
+
+
+class TestFunctional:
+    def test_matches_golden_reference(self, small_matrix, queries):
+        cpu = CpuTopKSpmv(small_matrix)
+        for x in queries:
+            ours = cpu.query(x, 20)
+            golden = exact_topk_spmv(small_matrix, x, 20)
+            assert ours.indices.tolist() == golden.indices.tolist()
+            assert np.allclose(ours.values, golden.values)
+
+    def test_rowwise_heap_path_agrees(self, small_matrix, query):
+        cpu = CpuTopKSpmv(small_matrix)
+        vectorised = cpu.query(query, 15)
+        rowwise = cpu.query_rowwise(query, 15)
+        assert vectorised.indices.tolist() == rowwise.indices.tolist()
+        assert np.allclose(vectorised.values, rowwise.values)
+
+    def test_query_shape_checked(self, small_matrix):
+        with pytest.raises(ConfigurationError):
+            CpuTopKSpmv(small_matrix).query(np.ones(3), 5)
+
+    def test_requires_csr(self):
+        with pytest.raises(ConfigurationError):
+            CpuTopKSpmv(np.ones((3, 3)))
+
+
+class TestTimingModel:
+    """The calibration must reproduce the paper's measured baselines."""
+
+    @pytest.mark.parametrize(
+        "n_rows,avg_nnz,paper_ms,tol",
+        [
+            (5_000_000, 30, 279.0, 0.05),
+            (10_000_000, 30, 509.0, 0.05),
+            (15_000_000, 30, 747.0, 0.05),
+            (2_000_000, 18, 117.0, 0.20),
+        ],
+    )
+    def test_paper_baselines(self, n_rows, avg_nnz, paper_ms, tol):
+        model = CpuTimingModel()
+        t = model.query_time_s(nnz=n_rows * avg_nnz, n_rows=n_rows)
+        assert t * 1e3 == pytest.approx(paper_ms, rel=tol)
+
+    def test_time_monotone_in_nnz(self):
+        model = CpuTimingModel()
+        assert model.query_time_s(2 * 10**8, 10**7) > model.query_time_s(10**8, 10**7)
+
+    def test_low_bandwidth_efficiency(self):
+        # The paper's roofline places the CPU at ~2% of peak.
+        eff = CpuTimingModel().bandwidth_efficiency()
+        assert 0.005 < eff < 0.05
+
+    def test_spec_power(self):
+        assert CPU_XEON_6248_PAIR.power_w == 300.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CpuTimingModel().bytes_touched(-1, 0)

@@ -1,0 +1,76 @@
+"""Unit tests for the GPU baseline (cuSPARSE + Thrust model)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gpu import TESLA_A100, TESLA_P100, GpuTimingModel, GpuTopKSpmv
+from repro.core.reference import exact_topk_spmv
+from repro.errors import ConfigurationError
+
+
+class TestFunctional:
+    def test_float32_close_to_exact(self, small_matrix, query):
+        gpu = GpuTopKSpmv(small_matrix, precision="float32")
+        ours = gpu.query(query, 10)
+        golden = exact_topk_spmv(small_matrix, query, 10)
+        # float32 storage: same items at K=10 on well-separated scores.
+        assert len(set(ours.indices.tolist()) & set(golden.indices.tolist())) >= 9
+
+    def test_float16_is_lossier_than_float32(self, small_matrix, queries):
+        def score_error(precision):
+            gpu = GpuTopKSpmv(small_matrix, precision=precision)
+            err = 0.0
+            for x in queries:
+                exact = small_matrix.matvec(x)
+                err += float(np.abs(gpu.scores(x) - exact).max())
+            return err
+
+        assert score_error("float16") > score_error("float32")
+
+    def test_scores_shape_checked(self, small_matrix):
+        with pytest.raises(ConfigurationError):
+            GpuTopKSpmv(small_matrix).scores(np.ones(4))
+
+    def test_unknown_precision_rejected(self, small_matrix):
+        with pytest.raises(ConfigurationError):
+            GpuTopKSpmv(small_matrix, precision="bfloat16")
+
+
+class TestTimingModel:
+    def test_figure5_f32_bar(self):
+        """GPU F32 idealized ≈ 51x the 509 ms CPU baseline at N=1e7."""
+        model = GpuTimingModel()
+        t = model.query_time_s(3 * 10**8, 10**7, "float32", zero_cost_sort=True)
+        speedup = 0.509 / t
+        assert speedup == pytest.approx(51.0, rel=0.08)
+
+    def test_figure5_f16_bar(self):
+        model = GpuTimingModel()
+        t = model.query_time_s(3 * 10**8, 10**7, "float16", zero_cost_sort=True)
+        assert 0.509 / t == pytest.approx(58.0, rel=0.08)
+
+    def test_sort_dominates_small_spmv(self):
+        model = GpuTimingModel()
+        with_sort = model.query_time_s(10**8, 10**7, "float32")
+        without = model.query_time_s(10**8, 10**7, "float32", zero_cost_sort=True)
+        assert with_sort > 2 * without
+
+    def test_f16_moves_fewer_bytes(self):
+        model = GpuTimingModel()
+        assert model.spmv_bytes(100, 10, "float16") < model.spmv_bytes(100, 10, "float32")
+
+    def test_a100_projection_faster(self):
+        """Section V-A: competitive even against an A100-class part."""
+        p100 = GpuTimingModel(spec=TESLA_P100)
+        a100 = GpuTimingModel(spec=TESLA_A100)
+        assert a100.spmv_time_s(3e8, 1e7) < p100.spmv_time_s(3e8, 1e7)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GpuTimingModel().sort_time_s(-1)
+
+    def test_throughput_idealized_by_default(self):
+        model = GpuTimingModel()
+        ideal = model.throughput_nnz_per_s(3 * 10**8, 10**7)
+        real = model.throughput_nnz_per_s(3 * 10**8, 10**7, zero_cost_sort=False)
+        assert ideal > real

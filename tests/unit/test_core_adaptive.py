@@ -1,0 +1,87 @@
+"""Unit tests for the adaptive precision/design selector."""
+
+import pytest
+
+from repro.core.adaptive import (
+    DesignChoice,
+    WorkloadProfile,
+    quantisation_precision,
+    select_design,
+)
+from repro.errors import ConfigurationError
+from repro.utils.rng import sample_unit_queries
+
+
+def _workload(**overrides):
+    defaults = dict(n_rows=1_000_000, n_cols=1024, avg_nnz=20, top_k=100)
+    defaults.update(overrides)
+    return WorkloadProfile(**defaults)
+
+
+class TestQuantisationModel:
+    def test_more_bits_never_worse(self):
+        w = _workload()
+        values = [quantisation_precision(v, w) for v in (12, 16, 20, 25, 32)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_paper_regime_20_bits_above_97(self):
+        assert quantisation_precision(20, _workload()) >= 0.97
+
+    def test_tiny_gaps_punish_coarse_values(self):
+        tight = _workload(score_gap=1e-6)
+        assert quantisation_precision(12, tight) < quantisation_precision(32, tight)
+
+
+class TestSelector:
+    def test_precision_target_met(self):
+        choice = select_design(_workload(), min_precision=0.97)
+        assert choice.predicted_precision >= 0.97
+
+    def test_fastest_design_prefers_narrow_values(self):
+        """With a loose accuracy target the selector maximises B (narrow V)."""
+        loose = select_design(_workload(score_gap=0.05), min_precision=0.9)
+        assert loose.design.value_bits <= 20
+
+    def test_strict_accuracy_needs_wider_values(self):
+        tight = _workload(score_gap=2e-5)
+        strict = select_design(tight, min_precision=0.995)
+        loose = select_design(tight, min_precision=0.5)
+        assert strict.design.value_bits >= loose.design.value_bits
+        assert strict.predicted_latency_s >= loose.predicted_latency_s
+
+    def test_latency_target_returns_most_accurate(self):
+        choice = select_design(_workload(), max_latency_s=1.0)
+        assert choice.predicted_latency_s <= 1.0
+        # With a generous budget the most accurate candidate wins.
+        assert choice.predicted_precision >= 0.99
+
+    def test_impossible_target_raises(self):
+        with pytest.raises(ConfigurationError):
+            select_design(_workload(), max_latency_s=1e-9)
+
+    def test_no_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_design(_workload())
+
+    def test_describe(self):
+        choice = select_design(_workload(), min_precision=0.9)
+        assert isinstance(choice, DesignChoice)
+        assert "ms" in choice.describe()
+
+    def test_k_times_cores_covers_top_k(self):
+        choice = select_design(_workload(top_k=100), min_precision=0.9)
+        assert choice.design.local_k * choice.design.cores >= 100
+
+
+class TestProfileFromMatrix:
+    def test_measured_gap_positive(self, small_matrix, rng):
+        queries = sample_unit_queries(rng, 3, small_matrix.n_cols)
+        profile = WorkloadProfile.from_matrix(small_matrix, queries, top_k=20)
+        assert profile.n_rows == small_matrix.n_rows
+        assert 0 < profile.score_gap < 1
+
+    def test_profile_drives_selection(self, small_matrix, rng):
+        queries = sample_unit_queries(rng, 3, small_matrix.n_cols)
+        profile = WorkloadProfile.from_matrix(small_matrix, queries, top_k=20)
+        choice = select_design(profile, min_precision=0.95)
+        assert choice.predicted_precision >= 0.95

@@ -1,0 +1,103 @@
+"""Unit tests for the partitioned Top-K approximation."""
+
+import numpy as np
+import pytest
+
+from repro.core.approx import (
+    approximate_topk_spmv,
+    default_local_k,
+    merge_topk_candidates,
+)
+from repro.core.reference import TopKResult, exact_topk_spmv
+from repro.errors import ConfigurationError
+
+
+class TestDefaultLocalK:
+    @pytest.mark.parametrize(
+        "top_k,c,expected", [(100, 32, 4), (8, 32, 1), (100, 16, 7), (1, 1, 1)]
+    )
+    def test_ceil_division(self, top_k, c, expected):
+        assert default_local_k(top_k, c) == expected
+
+    def test_covers_k(self):
+        for top_k in (1, 7, 50, 100):
+            for c in (1, 3, 16, 32):
+                assert default_local_k(top_k, c) * c >= top_k
+
+
+class TestMergeCandidates:
+    def test_merge_orders_globally(self):
+        a = TopKResult(indices=[0, 1], values=[0.9, 0.2])
+        b = TopKResult(indices=[5, 7], values=[0.8, 0.5])
+        merged = merge_topk_candidates([a, b], 3)
+        assert merged.indices.tolist() == [0, 5, 7]
+
+    def test_merge_truncates_to_k(self):
+        a = TopKResult(indices=[0, 1, 2], values=[0.9, 0.8, 0.7])
+        merged = merge_topk_candidates([a], 2)
+        assert len(merged) == 2
+
+    def test_merge_empty(self):
+        assert len(merge_topk_candidates([], 5)) == 0
+
+    def test_tie_break_by_index(self):
+        a = TopKResult(indices=[9], values=[0.5])
+        b = TopKResult(indices=[2], values=[0.5])
+        merged = merge_topk_candidates([a, b], 2)
+        assert merged.indices.tolist() == [2, 9]
+
+
+class TestApproximateTopK:
+    def test_equals_exact_when_kc_covers_n(self, small_matrix, query):
+        # k*c >= N makes the approximation lossless.
+        exact = exact_topk_spmv(small_matrix, query, 50)
+        approx = approximate_topk_spmv(
+            small_matrix, query, 50, n_partitions=4, local_k=500
+        )
+        assert approx.indices.tolist() == exact.indices.tolist()
+
+    def test_top_local_k_rows_always_survive(self, small_matrix, queries):
+        # The approximation never loses the global top-k (per-partition k
+        # always includes a partition's best rows).
+        for x in queries:
+            exact = exact_topk_spmv(small_matrix, x, 8)
+            approx = approximate_topk_spmv(
+                small_matrix, x, 100, n_partitions=32, local_k=8
+            )
+            assert set(exact.indices.tolist()) <= set(approx.indices[:100].tolist())
+
+    def test_precision_high_with_paper_parameters(self, small_matrix, queries):
+        hits = 0
+        total = 0
+        for x in queries:
+            exact = exact_topk_spmv(small_matrix, x, 100)
+            approx = approximate_topk_spmv(
+                small_matrix, x, 100, n_partitions=32, local_k=8
+            )
+            hits += len(set(exact.indices.tolist()) & set(approx.indices.tolist()))
+            total += 100
+        assert hits / total > 0.9
+
+    def test_kc_must_cover_top_k(self, small_matrix, query):
+        with pytest.raises(ConfigurationError):
+            approximate_topk_spmv(small_matrix, query, 100, n_partitions=4, local_k=8)
+
+    def test_query_shape_checked(self, small_matrix):
+        with pytest.raises(ConfigurationError):
+            approximate_topk_spmv(small_matrix, np.ones(3), 10, n_partitions=4)
+
+    def test_more_partitions_is_at_least_as_accurate(self, small_matrix, queries):
+        # Monotonicity in c (statistically; uses the same local_k).
+        def precision(c):
+            total = 0.0
+            for x in queries:
+                exact = exact_topk_spmv(small_matrix, x, 64)
+                approx = approximate_topk_spmv(
+                    small_matrix, x, 64, n_partitions=c, local_k=8
+                )
+                total += len(
+                    set(exact.indices.tolist()) & set(approx.indices.tolist())
+                ) / 64
+            return total / len(queries)
+
+        assert precision(32) >= precision(8) - 1e-9

@@ -1,0 +1,127 @@
+"""Unit tests for the Algorithm 1 dataflow simulation."""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.codecs import ExactCodec, codec_for_design
+from repro.core.dataflow import DataflowCore, simulate_dataflow, simulate_multicore
+from repro.core.reference import topk_from_scores
+from repro.errors import ConfigurationError
+from repro.formats.bscsr import BSCSRMatrix, encode_bscsr
+from repro.formats.layout import solve_layout
+
+
+def _encode(matrix, val_bits=64, codec=None, r=None):
+    layout = solve_layout(matrix.n_cols, val_bits)
+    return encode_bscsr(matrix, layout, codec or ExactCodec(), rows_per_packet=r)
+
+
+class TestFunctionalCorrectness:
+    def test_exact_codec_reproduces_golden_topk(self, small_matrix, query):
+        stream = _encode(small_matrix)
+        result, stats = simulate_dataflow(stream, query, local_k=8)
+        golden = topk_from_scores(small_matrix.matvec(query), 8)
+        assert set(result.indices.tolist()) == set(golden.indices.tolist())
+        assert np.allclose(np.sort(result.values), np.sort(golden.values))
+
+    def test_row_values_match_matvec(self, small_matrix, query):
+        # With k = n_rows the tracker keeps everything: full y comparison.
+        stream = _encode(small_matrix)
+        result, _ = simulate_dataflow(stream, query, local_k=small_matrix.n_rows)
+        y = small_matrix.matvec(query)
+        recovered = np.zeros_like(y)
+        recovered[result.indices] = result.values
+        assert np.allclose(recovered, y)
+
+    def test_empty_rows_handled(self, gamma_matrix, query):
+        stream = _encode(gamma_matrix)
+        result, stats = simulate_dataflow(stream, query, local_k=8)
+        assert stats.rows_finished == gamma_matrix.n_rows
+        golden = topk_from_scores(gamma_matrix.matvec(query), 8)
+        assert set(result.indices.tolist()) == set(golden.indices.tolist())
+
+    def test_quantised_values_drive_results(self, small_matrix, query):
+        codec = codec_for_design(20, "fixed")
+        stream = _encode(small_matrix, val_bits=20, codec=codec)
+        result, _ = simulate_dataflow(stream, query, local_k=small_matrix.n_rows)
+        quantised = small_matrix.with_data(codec.quantize(small_matrix.data))
+        y = quantised.matvec(query)
+        recovered = np.zeros_like(y)
+        recovered[result.indices] = result.values
+        assert np.allclose(recovered, y, atol=1e-12)
+
+    def test_stats_counts(self, small_matrix, query):
+        stream = _encode(small_matrix, val_bits=20, codec=codec_for_design(20, "fixed"), r=7)
+        _, stats = simulate_dataflow(stream, query, local_k=8)
+        assert stats.packets == stream.n_packets
+        assert stats.rows_finished == small_matrix.n_rows
+        assert stats.max_rows_in_packet <= 7
+
+
+class TestReferenceVsFast:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("fixture", ["small_matrix", "gamma_matrix"])
+    def test_bit_identical(self, request, fixture, query, dtype):
+        matrix = request.getfixturevalue(fixture)
+        stream = _encode(matrix, val_bits=20, codec=codec_for_design(20, "fixed"), r=7)
+        core = DataflowCore(8, query, dtype)
+        ref_result, ref_stats = core.run(stream)
+        fast_result, fast_stats = core.run_fast(stream)
+        assert np.array_equal(ref_result.indices, fast_result.indices)
+        assert np.array_equal(ref_result.values, fast_result.values)
+        assert ref_stats.packets == fast_stats.packets
+        assert ref_stats.rows_finished == fast_stats.rows_finished
+        assert ref_stats.tracker_accepts == fast_stats.tracker_accepts
+        assert ref_stats.spanning_rows == fast_stats.spanning_rows
+
+    def test_empty_stream(self):
+        from repro.formats.csr import CSRMatrix
+
+        empty = CSRMatrix(
+            indptr=np.zeros(1, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int64),
+            data=np.empty(0),
+            n_cols=16,
+        )
+        stream = _encode(empty)
+        core = DataflowCore(4, np.ones(16))
+        for runner in (core.run, core.run_fast):
+            result, stats = runner(stream)
+            assert len(result) == 0
+            assert stats.packets == 0
+
+
+class TestValidation:
+    def test_uram_too_small_rejected(self, small_matrix, query):
+        stream = _encode(small_matrix)
+        core = DataflowCore(8, query[:100])
+        with pytest.raises(ConfigurationError):
+            core.run(stream)
+
+    def test_bad_accumulate_dtype_rejected(self, query):
+        with pytest.raises(ConfigurationError):
+            DataflowCore(8, query, np.int32)
+
+    def test_2d_x_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DataflowCore(8, np.ones((4, 4)))
+
+
+class TestMulticore:
+    def test_candidates_cover_all_partitions(self, small_matrix, query):
+        layout = solve_layout(small_matrix.n_cols, 64)
+        encoded = BSCSRMatrix.encode(small_matrix, layout, ExactCodec(), n_partitions=8)
+        results, stats = simulate_multicore(encoded, query, local_k=4)
+        assert len(results) == 8
+        assert stats.rows_finished == small_matrix.n_rows
+        # Indices globalised: each partition's ids fall in its row range.
+        for part_result, offset in zip(results, encoded.row_offsets):
+            if len(part_result):
+                assert part_result.indices.min() >= offset
+
+    def test_float32_accumulation_differs_from_float64(self, small_matrix, query):
+        # Sanity: the F32 model is actually float32 (values differ in ulps).
+        stream = _encode(small_matrix, val_bits=32, codec=codec_for_design(32, "float"))
+        r64, _ = simulate_dataflow(stream, query, 8, np.float64)
+        r32, _ = simulate_dataflow(stream, query, 8, np.float32)
+        assert not np.array_equal(r64.values, r32.values)

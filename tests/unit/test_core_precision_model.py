@@ -1,0 +1,112 @@
+"""Unit tests for the Table I precision theory."""
+
+import pytest
+
+from repro.core.precision_model import (
+    estimate_precision_monte_carlo,
+    expected_precision,
+    expected_precision_averaged,
+    expected_precision_union_bound,
+    min_partitions_for_precision,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.paper_data import TABLE1_K_VALUES, TABLE1_PAPER
+
+
+class TestClosedForm:
+    def test_no_loss_when_k_covers_K(self):
+        assert expected_precision(10**6, 32, 8, 8) == 1.0
+
+    def test_degrades_with_K(self):
+        values = [expected_precision(10**6, 16, 8, k) for k in TABLE1_K_VALUES]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_improves_with_partitions(self):
+        p16 = expected_precision(10**6, 16, 8, 100)
+        p32 = expected_precision(10**6, 32, 8, 100)
+        assert p32 > p16
+
+    def test_matches_every_table1_cell(self):
+        """The corrected closed form reproduces Table I to ~3 decimals."""
+        for (n_rows, c), paper_row in TABLE1_PAPER.items():
+            for top_k, paper_value in zip(TABLE1_K_VALUES, paper_row):
+                ours = expected_precision(n_rows, c, 8, top_k)
+                assert ours == pytest.approx(paper_value, abs=6e-3), (
+                    f"N={n_rows}, c={c}, K={top_k}"
+                )
+
+    def test_single_partition_with_small_k(self):
+        # One partition, k < K: exactly k of K retrieved.
+        assert expected_precision(1000, 1, 8, 100) == pytest.approx(0.08)
+
+    def test_k_exceeding_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_precision(10, 2, 8, 11)
+
+    def test_handles_uneven_partitions(self):
+        # Should not raise and should stay in [0, 1].
+        p = expected_precision(1001, 7, 2, 30)
+        assert 0.0 <= p <= 1.0
+
+
+class TestUnionBound:
+    def test_is_a_lower_bound(self):
+        for top_k in TABLE1_K_VALUES:
+            exact = expected_precision(10**6, 16, 8, top_k)
+            bound = expected_precision_union_bound(10**6, 16, 8, top_k)
+            assert bound <= exact + 1e-12
+
+    def test_clamped_to_unit_interval(self):
+        assert 0.0 <= expected_precision_union_bound(10**4, 2, 1, 100) <= 1.0
+
+
+class TestAveragedVariant:
+    def test_averaged_at_least_pointwise(self):
+        # Precision decreases in K, so the 1..K average exceeds the K value.
+        avg = expected_precision_averaged(10**5, 16, 8, 100)
+        point = expected_precision(10**5, 16, 8, 100)
+        assert avg >= point
+
+    def test_k1_equals_pointwise(self):
+        assert expected_precision_averaged(10**5, 16, 8, 1) == expected_precision(
+            10**5, 16, 8, 1
+        )
+
+
+class TestMonteCarlo:
+    def test_agrees_with_closed_form(self):
+        estimate = estimate_precision_monte_carlo(
+            10**6, 16, 8, 100, trials=3000, seed=0
+        )
+        closed = expected_precision(10**6, 16, 8, 100)
+        assert estimate.within(closed)
+
+    def test_deterministic_for_fixed_seed(self):
+        a = estimate_precision_monte_carlo(10**6, 16, 8, 100, trials=200, seed=42)
+        b = estimate_precision_monte_carlo(10**6, 16, 8, 100, trials=200, seed=42)
+        assert a.mean == b.mean
+
+    def test_std_error_shrinks_with_trials(self):
+        small = estimate_precision_monte_carlo(10**6, 16, 8, 100, trials=100, seed=1)
+        large = estimate_precision_monte_carlo(10**6, 16, 8, 100, trials=4000, seed=1)
+        assert large.std_error < small.std_error
+
+    def test_perfect_when_k_covers_K(self):
+        estimate = estimate_precision_monte_carlo(10**6, 32, 8, 8, trials=50, seed=2)
+        assert estimate.mean == 1.0
+
+
+class TestMinPartitions:
+    def test_paper_observation_16_partitions_suffice(self):
+        # "Having at least 16 partitions guarantees a minimal loss of
+        # precision" — at K = 75, 16 partitions give >= 98%.
+        assert min_partitions_for_precision(10**6, 8, 75, target=0.98) <= 16
+
+    def test_higher_target_needs_more_partitions(self):
+        low = min_partitions_for_precision(10**6, 8, 100, target=0.95)
+        high = min_partitions_for_precision(10**6, 8, 100, target=0.995)
+        assert high >= low
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ConfigurationError):
+            min_partitions_for_precision(10**6, 1, 100, target=1.0, max_partitions=2)

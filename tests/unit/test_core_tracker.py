@@ -1,0 +1,81 @@
+"""Unit tests for the hardware Top-K scratchpad model."""
+
+import numpy as np
+import pytest
+
+from repro.core.topk_tracker import TopKTracker
+from repro.errors import ConfigurationError
+
+
+class TestTracker:
+    def test_fills_up_then_evicts_minimum(self):
+        tracker = TopKTracker(2)
+        tracker.insert(0, 0.1)
+        tracker.insert(1, 0.5)
+        tracker.insert(2, 0.3)
+        result = tracker.result()
+        assert result.indices.tolist() == [1, 2]
+
+    def test_rejects_below_worst(self):
+        tracker = TopKTracker(2)
+        tracker.insert(0, 0.5)
+        tracker.insert(1, 0.4)
+        assert tracker.insert(2, 0.1) is False
+        assert 2 not in tracker.result().indices
+
+    def test_equal_value_replaces_like_hardware(self):
+        # Algorithm 1 uses >=: a later row with an equal value evicts.
+        tracker = TopKTracker(1)
+        tracker.insert(0, 0.5)
+        assert tracker.insert(1, 0.5) is True
+        assert tracker.result().indices.tolist() == [1]
+
+    def test_result_sorted_desc_then_index(self):
+        tracker = TopKTracker(4)
+        for row, value in [(5, 0.2), (1, 0.9), (3, 0.2), (2, 0.7)]:
+            tracker.insert(row, value)
+        result = tracker.result()
+        assert result.indices.tolist() == [1, 2, 3, 5]
+
+    def test_partial_fill_drops_empty_slots(self):
+        tracker = TopKTracker(8)
+        tracker.insert(0, 0.3)
+        assert len(tracker.result()) == 1
+
+    def test_matches_exact_topk_on_distinct_values(self, rng):
+        values = rng.permutation(1000) / 1000.0
+        tracker = TopKTracker(8)
+        tracker.insert_many(np.arange(1000), values)
+        expected = set(np.argsort(-values)[:8].tolist())
+        assert set(tracker.result().indices.tolist()) == expected
+
+    def test_worst_value_tracks_minimum(self):
+        tracker = TopKTracker(2)
+        assert tracker.worst_value == -np.inf
+        tracker.insert(0, 0.5)
+        tracker.insert(1, 0.8)
+        assert tracker.worst_value == 0.5
+
+    def test_count(self):
+        tracker = TopKTracker(3)
+        assert tracker.count == 0
+        tracker.insert_many(np.arange(5), np.linspace(0, 1, 5))
+        assert tracker.count == 3
+
+    def test_reset(self):
+        tracker = TopKTracker(2)
+        tracker.insert(0, 0.5)
+        tracker.reset()
+        assert len(tracker.result()) == 0
+        assert tracker.worst_value == -np.inf
+
+    def test_zero_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopKTracker(0)
+
+    def test_zero_values_are_tracked(self):
+        # Placeholder (empty) rows produce value 0; the hardware admits them
+        # while slots remain.
+        tracker = TopKTracker(2)
+        tracker.insert(0, 0.0)
+        assert tracker.result().indices.tolist() == [0]

@@ -1,0 +1,66 @@
+"""Unit tests for the Table III matrix registry."""
+
+import pytest
+
+from repro.data.datasets import (
+    TABLE3_SPECS,
+    realize_spec,
+    spec_by_name,
+    specs_in_group,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_nineteen_matrices(self):
+        assert len(TABLE3_SPECS) == 19
+
+    def test_unique_names(self):
+        names = [s.name for s in TABLE3_SPECS]
+        assert len(set(names)) == len(names)
+
+    def test_groups_cover_figure5(self):
+        groups = {s.group for s in TABLE3_SPECS}
+        assert groups == {"N=0.5e7", "N=1e7", "N=1.5e7", "glove"}
+
+    def test_spec_by_name(self):
+        spec = spec_by_name("uniform-10M-M1024-nnz20")
+        assert spec.n_rows == 10_000_000
+        assert spec.avg_nnz == 20
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec_by_name("netflix")
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            specs_in_group("N=2e7")
+
+    def test_row_lengths_at_paper_scale(self):
+        spec = spec_by_name("uniform-5M-M1024-nnz20")
+        lengths = spec.row_lengths(seed=0)
+        assert len(lengths) == 5_000_000
+        assert lengths.sum() == pytest.approx(spec.expected_nnz, rel=0.01)
+
+    def test_glove_row_lengths(self):
+        spec = spec_by_name("glove-2M-M1024")
+        lengths = spec.row_lengths(seed=0)
+        assert len(lengths) == 2_000_000
+        assert 0 < lengths.mean() <= spec.avg_nnz
+
+
+class TestRealization:
+    @pytest.mark.parametrize(
+        "name", ["uniform-5M-M512-nnz20", "gamma-10M-M1024-nnz40"]
+    )
+    def test_reduced_scale_realization(self, name):
+        matrix = realize_spec(name, n_rows=3000, seed=1)
+        spec = spec_by_name(name)
+        assert matrix.n_rows == 3000
+        assert matrix.n_cols == spec.n_cols
+        assert matrix.nnz / matrix.n_rows == pytest.approx(spec.avg_nnz, rel=0.1)
+
+    def test_glove_realization(self):
+        matrix = realize_spec("glove-2M-M1024", n_rows=1500, seed=2)
+        assert matrix.n_rows == 1500
+        assert matrix.n_cols == 1024

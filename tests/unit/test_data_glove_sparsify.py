@@ -1,0 +1,97 @@
+"""Unit tests for the GloVe substitute corpus and the sparsifier."""
+
+import numpy as np
+import pytest
+
+from repro.data.glove import sparsified_glove_embeddings, synthetic_glove_corpus
+from repro.data.sparsify import GreedyDictionary, sparsify_topcoeff
+from repro.errors import DataGenerationError
+
+
+class TestCorpus:
+    def test_shape_and_normalisation(self):
+        dense = synthetic_glove_corpus(500, dense_dim=64, seed=0)
+        assert dense.shape == (500, 64)
+        assert np.allclose(np.linalg.norm(dense, axis=1), 1.0)
+
+    def test_cluster_structure_visible(self):
+        dense = synthetic_glove_corpus(400, dense_dim=64, n_clusters=4, noise=0.05, seed=1)
+        sims = dense @ dense.T
+        np.fill_diagonal(sims, 0.0)
+        # With strong clusters some pairs are near-identical.
+        assert sims.max() > 0.85
+
+    def test_invalid_noise_rejected(self):
+        with pytest.raises(DataGenerationError):
+            synthetic_glove_corpus(10, noise=-0.1)
+
+
+class TestDictionary:
+    def test_learn_shapes(self):
+        dense = synthetic_glove_corpus(300, dense_dim=32, seed=2)
+        dictionary = GreedyDictionary.learn(dense, n_atoms=64, rng=0)
+        assert dictionary.n_atoms == 64
+        assert dictionary.dense_dim == 32
+
+    def test_atoms_unit_norm(self):
+        dense = synthetic_glove_corpus(300, dense_dim=32, seed=2)
+        dictionary = GreedyDictionary.learn(dense, n_atoms=16, rng=0)
+        assert np.allclose(np.linalg.norm(dictionary.atoms, axis=1), 1.0)
+
+    def test_oversized_dictionary_allowed(self):
+        dense = synthetic_glove_corpus(10, dense_dim=16, seed=3)
+        dictionary = GreedyDictionary.learn(dense, n_atoms=32, rng=0)
+        assert dictionary.n_atoms == 32
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(DataGenerationError):
+            GreedyDictionary.learn(np.empty((0, 8)), n_atoms=4, rng=0)
+
+
+class TestSparsify:
+    def test_output_shape_and_sparsity(self):
+        dense = synthetic_glove_corpus(200, dense_dim=32, seed=4)
+        dictionary = GreedyDictionary.learn(dense, n_atoms=128, rng=0)
+        sparse = sparsify_topcoeff(dense, dictionary, nnz_per_row=10)
+        assert sparse.shape == (200, 128)
+        assert sparse.row_lengths().max() <= 10
+
+    def test_rows_normalised_and_non_negative(self):
+        dense = synthetic_glove_corpus(100, dense_dim=32, seed=5)
+        dictionary = GreedyDictionary.learn(dense, n_atoms=64, rng=0)
+        sparse = sparsify_topcoeff(dense, dictionary, nnz_per_row=8)
+        assert (sparse.data >= 0).all()
+        lengths = sparse.row_lengths()
+        norms = np.sqrt(
+            np.asarray(sparse.to_scipy().multiply(sparse.to_scipy()).sum(axis=1))
+        ).ravel()
+        assert np.allclose(norms[lengths > 0], 1.0)
+
+    def test_similar_items_share_atoms(self):
+        dense = synthetic_glove_corpus(200, dense_dim=32, n_clusters=3, noise=0.05, seed=6)
+        dictionary = GreedyDictionary.learn(dense, n_atoms=64, rng=0)
+        sparse = sparsify_topcoeff(dense, dictionary, nnz_per_row=6)
+        sims = dense @ dense.T
+        np.fill_diagonal(sims, 0.0)
+        i, j = np.unravel_index(np.argmax(sims), sims.shape)
+        cols_i = set(sparse.row(i)[0].tolist())
+        cols_j = set(sparse.row(j)[0].tolist())
+        assert len(cols_i & cols_j) >= 3
+
+    def test_dimension_mismatch_rejected(self):
+        dictionary = GreedyDictionary(atoms=np.eye(4))
+        with pytest.raises(DataGenerationError):
+            sparsify_topcoeff(np.ones((2, 8)), dictionary, 2)
+
+    def test_budget_larger_than_dictionary_rejected(self):
+        dictionary = GreedyDictionary(atoms=np.eye(4))
+        with pytest.raises(DataGenerationError):
+            sparsify_topcoeff(np.ones((2, 4)), dictionary, 5)
+
+
+class TestPipeline:
+    def test_sparsified_glove_statistics(self):
+        sparse = sparsified_glove_embeddings(n_rows=2000, n_cols=256, avg_nnz=12, seed=7)
+        assert sparse.shape == (2000, 256)
+        mean_nnz = sparse.nnz / sparse.n_rows
+        assert 6 <= mean_nnz <= 12

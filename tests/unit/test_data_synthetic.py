@@ -1,0 +1,107 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    distinct_columns,
+    embeddings_from_row_lengths,
+    gamma_row_lengths,
+    synthetic_embeddings,
+    uniform_row_lengths,
+)
+from repro.errors import DataGenerationError
+
+
+class TestRowLengths:
+    def test_uniform_mean(self):
+        lengths = uniform_row_lengths(50_000, 20, 0)
+        assert lengths.mean() == pytest.approx(20, rel=0.02)
+
+    def test_uniform_range(self):
+        lengths = uniform_row_lengths(10_000, 20, 0)
+        assert lengths.min() >= 10 and lengths.max() <= 30
+
+    def test_uniform_zero_spread_constant(self):
+        lengths = uniform_row_lengths(100, 20, 0, spread=0.0)
+        assert (lengths == 20).all()
+
+    def test_gamma_mean(self):
+        lengths = gamma_row_lengths(100_000, 20, 0)
+        assert lengths.mean() == pytest.approx(20, rel=0.03)
+
+    def test_gamma_is_skewed_with_empty_rows(self):
+        lengths = gamma_row_lengths(100_000, 4, 0)
+        assert (lengths == 0).any()
+        # Right skew: mean above median.
+        assert lengths.mean() > np.median(lengths)
+
+    def test_gamma_invalid_params(self):
+        with pytest.raises(DataGenerationError):
+            gamma_row_lengths(10, 5, 0, shape=-1)
+
+    def test_uniform_invalid_spread(self):
+        with pytest.raises(DataGenerationError):
+            uniform_row_lengths(10, 5, 0, spread=2.0)
+
+
+class TestDistinctColumns:
+    def test_rows_have_distinct_sorted_columns(self, rng):
+        lengths = np.array([5, 0, 17, 64, 3])
+        indices = distinct_columns(lengths, 64, rng)
+        offset = 0
+        for length in lengths:
+            row = indices[offset : offset + length]
+            assert len(np.unique(row)) == length
+            assert (np.diff(row) > 0).all() if length > 1 else True
+            offset += length
+
+    def test_full_row_possible(self, rng):
+        # length == n_cols exercises the exact-draw fallback.
+        indices = distinct_columns(np.array([16]), 16, rng)
+        assert sorted(indices.tolist()) == list(range(16))
+
+    def test_rejects_overlong_rows(self, rng):
+        with pytest.raises(DataGenerationError):
+            distinct_columns(np.array([65]), 64, rng)
+
+    def test_empty(self, rng):
+        assert len(distinct_columns(np.array([], dtype=np.int64), 8, rng)) == 0
+
+
+class TestEmbeddings:
+    def test_rows_l2_normalised(self, small_matrix):
+        norms = np.sqrt(
+            np.asarray(small_matrix.to_scipy().multiply(small_matrix.to_scipy()).sum(axis=1))
+        ).ravel()
+        lengths = small_matrix.row_lengths()
+        assert np.allclose(norms[lengths > 0], 1.0)
+
+    def test_non_negative_by_default(self, small_matrix):
+        assert (small_matrix.data >= 0).all()
+
+    def test_no_stored_zeros(self, small_matrix):
+        assert (small_matrix.data != 0).all()
+
+    def test_signed_variant(self):
+        m = synthetic_embeddings(500, 64, 8, seed=3, non_negative=False)
+        assert (m.data < 0).any()
+
+    def test_row_length_profile_respected(self, rng):
+        lengths = np.array([3, 0, 7, 1])
+        m = embeddings_from_row_lengths(lengths, 32, rng)
+        assert m.row_lengths().tolist() == lengths.tolist()
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(DataGenerationError):
+            synthetic_embeddings(10, 8, 2, distribution="zipf")
+
+    def test_deterministic_for_seed(self):
+        a = synthetic_embeddings(200, 64, 8, seed=9)
+        b = synthetic_embeddings(200, 64, 8, seed=9)
+        assert np.array_equal(a.data, b.data)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_row_lengths_clipped_to_n_cols(self):
+        m = synthetic_embeddings(100, 8, 8, seed=1)
+        assert m.row_lengths().max() <= 8

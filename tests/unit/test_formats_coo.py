@@ -1,0 +1,88 @@
+"""Unit tests for the COO container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import FormatError
+from repro.formats.coo import COOMatrix
+
+
+def _sample():
+    return COOMatrix.from_arrays(
+        rows=[0, 0, 2], cols=[1, 3, 0], vals=[1.0, 2.0, 3.0], n_rows=3, n_cols=4
+    )
+
+
+class TestConstruction:
+    def test_from_arrays_sorts_row_major(self):
+        coo = COOMatrix.from_arrays(
+            rows=[2, 0, 0], cols=[0, 3, 1], vals=[3.0, 2.0, 1.0], n_rows=3, n_cols=4
+        )
+        assert coo.rows.tolist() == [0, 0, 2]
+        assert coo.cols.tolist() == [1, 3, 0]
+        assert coo.is_row_sorted()
+
+    def test_from_scipy_coalesces_duplicates(self):
+        m = sp.coo_matrix(([1.0, 2.0], ([0, 0], [1, 1])), shape=(2, 3))
+        coo = COOMatrix.from_scipy(m)
+        assert coo.nnz == 1
+        assert coo.vals[0] == 3.0
+
+    def test_from_dense(self):
+        dense = np.array([[0.0, 1.5], [2.5, 0.0]])
+        coo = COOMatrix.from_dense(dense)
+        assert coo.nnz == 2
+        assert np.array_equal(coo.to_dense(), dense)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(FormatError):
+            COOMatrix.from_dense(np.ones(4))
+
+    def test_out_of_range_rows_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix.from_arrays([5], [0], [1.0], n_rows=3, n_cols=4)
+
+    def test_out_of_range_cols_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix.from_arrays([0], [9], [1.0], n_rows=3, n_cols=4)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix(
+                rows=np.array([0]), cols=np.array([0, 1]), vals=np.array([1.0]),
+                n_rows=2, n_cols=2,
+            )
+
+
+class TestComputation:
+    def test_matvec_matches_dense(self):
+        coo = _sample()
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert np.allclose(coo.matvec(x), coo.to_dense() @ x)
+
+    def test_matvec_shape_check(self):
+        with pytest.raises(FormatError):
+            _sample().matvec(np.ones(3))
+
+    def test_matvec_accumulates_duplicates(self):
+        coo = COOMatrix.from_arrays(
+            rows=[0, 0], cols=[1, 1], vals=[1.0, 2.0], n_rows=1, n_cols=2
+        )
+        assert coo.matvec(np.array([0.0, 1.0]))[0] == 3.0
+
+    def test_row_lengths(self):
+        assert _sample().row_lengths().tolist() == [2, 0, 1]
+
+    def test_memory_bytes_naive(self):
+        # 3 entries x 96 bits = 36 bytes.
+        assert _sample().memory_bytes() == 36
+
+    def test_memory_bytes_reduced_precision(self):
+        # 3 entries x (32 + 10 + 20) bits = 186 bits -> 24 bytes (ceil).
+        assert _sample().memory_bytes(32, 10, 20) == 24
+
+    def test_empty_matrix(self):
+        coo = COOMatrix.from_arrays([], [], [], n_rows=0, n_cols=0)
+        assert coo.nnz == 0
+        assert coo.is_row_sorted()

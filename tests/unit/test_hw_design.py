@@ -1,0 +1,82 @@
+"""Unit tests for accelerator design points."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.design import AcceleratorDesign, PAPER_DESIGNS, design_by_name
+
+
+class TestPaperDesigns:
+    def test_four_designs_registered(self):
+        assert sorted(PAPER_DESIGNS) == ["20b", "25b", "32b", "f32"]
+
+    @pytest.mark.parametrize(
+        "key,lanes,clock", [("20b", 15, 253), ("25b", 13, 240), ("32b", 11, 249), ("f32", 11, 204)]
+    )
+    def test_layout_and_clock(self, key, lanes, clock):
+        design = PAPER_DESIGNS[key]
+        assert design.layout.lanes == lanes
+        assert design.resolved_clock_mhz == clock
+
+    def test_all_designs_use_32_cores_k8(self):
+        for design in PAPER_DESIGNS.values():
+            assert design.cores == 32
+            assert design.local_k == 8
+
+    def test_effective_rows_per_packet_in_paper_range(self):
+        # "r between 4 and 8" (Section IV-C).
+        for design in PAPER_DESIGNS.values():
+            assert 4 <= design.effective_rows_per_packet <= 8
+
+    def test_uram_replicas_ceil_b_over_2(self):
+        assert PAPER_DESIGNS["20b"].uram_replicas == 8
+        assert PAPER_DESIGNS["25b"].uram_replicas == 7
+        assert PAPER_DESIGNS["32b"].uram_replicas == 6
+
+    def test_accumulate_dtype(self):
+        assert PAPER_DESIGNS["20b"].accumulate_dtype == np.float64
+        assert PAPER_DESIGNS["f32"].accumulate_dtype == np.float32
+
+    def test_design_by_name(self):
+        assert design_by_name("20b") is PAPER_DESIGNS["20b"]
+
+    def test_design_by_name_unknown(self):
+        with pytest.raises(ConfigurationError):
+            design_by_name("64b")
+
+
+class TestCustomDesigns:
+    def test_with_cores_renames(self):
+        scaled = PAPER_DESIGNS["20b"].with_cores(8)
+        assert scaled.cores == 8
+        assert "8C" in scaled.name
+
+    def test_explicit_rows_per_packet_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorDesign(name="bad", value_bits=20, rows_per_packet=16)
+
+    def test_quantize_query_fixed_uses_q131(self):
+        design = PAPER_DESIGNS["20b"]
+        x = np.array([0.1, 0.5, 0.999999999])
+        quantised = design.quantize_query(x)
+        assert np.abs(quantised - x).max() <= 2.0**-32
+
+    def test_quantize_query_float_uses_float32(self):
+        design = PAPER_DESIGNS["f32"]
+        x = np.array([0.1, 0.2])
+        assert np.array_equal(
+            design.quantize_query(x), x.astype(np.float32).astype(np.float64)
+        )
+
+    def test_invalid_arithmetic_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorDesign(name="bad", value_bits=20, arithmetic="decimal")
+
+    def test_describe_mentions_structure(self):
+        text = PAPER_DESIGNS["20b"].describe()
+        assert "B=15" in text and "32 cores" in text
+
+    def test_wider_matrix_shrinks_lanes(self):
+        design = AcceleratorDesign(name="wide", value_bits=20, max_columns=65536)
+        assert design.layout.lanes < 15

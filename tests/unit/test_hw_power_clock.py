@@ -1,0 +1,77 @@
+"""Unit tests for the power and clocking models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.paper_data import TABLE2_PAPER
+from repro.hw.clocking import achievable_clock_mhz
+from repro.hw.design import PAPER_DESIGNS
+from repro.hw.power import PowerBudget, estimate_fpga_power_w, performance_per_watt
+
+
+class TestClocking:
+    @pytest.mark.parametrize("key", sorted(TABLE2_PAPER))
+    def test_paper_designs_anchor_table2(self, key):
+        design = PAPER_DESIGNS[key]
+        assert design.resolved_clock_mhz == TABLE2_PAPER[key]["clock_mhz"]
+
+    def test_float_slower_than_fixed(self):
+        assert achievable_clock_mhz(32, "float") < achievable_clock_mhz(32, "fixed")
+
+    def test_large_k_lowers_clock(self):
+        # Section IV-B: RAW dependency in the argmin chain.
+        assert achievable_clock_mhz(20, "fixed", local_k=32) < achievable_clock_mhz(
+            20, "fixed", local_k=8
+        )
+
+    def test_small_k_no_penalty(self):
+        assert achievable_clock_mhz(20, "fixed", local_k=4) == pytest.approx(247.0)
+
+    def test_unknown_arithmetic_rejected(self):
+        with pytest.raises(ConfigurationError):
+            achievable_clock_mhz(20, "unary")
+
+
+class TestFpgaPower:
+    @pytest.mark.parametrize("key", sorted(TABLE2_PAPER))
+    def test_table2_power_within_1w(self, key):
+        power = estimate_fpga_power_w(PAPER_DESIGNS[key])
+        assert power == pytest.approx(TABLE2_PAPER[key]["power_w"], abs=1.0)
+
+    def test_float_design_burns_most(self):
+        powers = {k: estimate_fpga_power_w(d) for k, d in PAPER_DESIGNS.items()}
+        assert powers["f32"] == max(powers.values())
+
+    def test_fewer_cores_less_power(self):
+        full = estimate_fpga_power_w(PAPER_DESIGNS["20b"])
+        half = estimate_fpga_power_w(PAPER_DESIGNS["20b"].with_cores(16))
+        assert half < full
+
+
+class TestPowerBudget:
+    def test_total(self):
+        budget = PowerBudget(name="FPGA", device_w=35.0, host_w=40.0)
+        assert budget.total_w == 75.0
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerBudget(name="bad", device_w=0.0, host_w=0.0)
+
+    def test_performance_per_watt(self):
+        budget = PowerBudget(name="FPGA", device_w=35.0, host_w=40.0)
+        assert performance_per_watt(70e9, budget) == pytest.approx(2e9)
+        assert performance_per_watt(75e9, budget, include_host=True) == pytest.approx(1e9)
+
+    def test_paper_section_vb_ratios(self):
+        """The §V-B arithmetic: 35 W FPGA vs 300 W CPU and 250 W GPU."""
+        fpga = PowerBudget(name="FPGA", device_w=35.0, host_w=40.0)
+        cpu = PowerBudget(name="CPU", device_w=300.0, host_w=0.0)
+        gpu = PowerBudget(name="GPU", device_w=250.0, host_w=40.0)
+        # 106x speedup, device-only GPU comparison: ~15x; host-inclusive ~8x.
+        fpga_thr, cpu_thr, gpu_thr = 106.0, 1.0, 51.0
+        vs_gpu = (fpga_thr / fpga.device_w) / (gpu_thr / gpu.device_w)
+        vs_gpu_host = (fpga_thr / fpga.total_w) / (gpu_thr / gpu.total_w)
+        vs_cpu = (fpga_thr / fpga.total_w) / (cpu_thr / cpu.device_w)
+        assert vs_gpu == pytest.approx(14.2, rel=0.08)
+        assert vs_gpu_host == pytest.approx(7.7, rel=0.08)
+        assert vs_cpu == pytest.approx(400, rel=0.08)

@@ -1,0 +1,102 @@
+"""Unit tests for the Table II resource model."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.paper_data import TABLE2_PAPER
+from repro.hw.design import PAPER_DESIGNS
+from repro.hw.resources import (
+    ResourceModel,
+    ResourceUsage,
+    U280_AVAILABLE,
+    estimate_core_resources,
+    estimate_total_resources,
+    max_cores_placeable,
+)
+
+_RESOURCES = ("LUT", "FF", "BRAM", "URAM", "DSP")
+
+
+class TestTable2Calibration:
+    """The model must reproduce Table II within the documented tolerance."""
+
+    @pytest.mark.parametrize("key", sorted(TABLE2_PAPER))
+    def test_utilization_within_2pp(self, key):
+        design = PAPER_DESIGNS[key]
+        util = ResourceModel().utilization(design)
+        for resource in _RESOURCES:
+            assert util[resource] == pytest.approx(
+                TABLE2_PAPER[key][resource], abs=0.02
+            ), f"{key}/{resource}"
+
+    def test_uram_counts_exact_structure(self):
+        # replicas x blocks + 2 control per core (DESIGN.md §3.4).
+        core = estimate_core_resources(PAPER_DESIGNS["20b"])
+        assert core.uram == 8 + 2
+
+    def test_bram_flat_across_designs(self):
+        totals = {
+            key: estimate_total_resources(d).bram
+            for key, d in PAPER_DESIGNS.items()
+        }
+        assert len(set(totals.values())) == 1
+
+
+class TestScalingBehaviour:
+    def test_float_design_costs_more_lut(self):
+        fixed = estimate_core_resources(PAPER_DESIGNS["32b"])
+        floating = estimate_core_resources(PAPER_DESIGNS["f32"])
+        assert floating.lut > fixed.lut
+
+    def test_wider_values_cost_more_dsp_per_lane(self):
+        d20 = estimate_core_resources(PAPER_DESIGNS["20b"])
+        d32 = estimate_core_resources(PAPER_DESIGNS["32b"])
+        per_lane_20 = d20.dsp / PAPER_DESIGNS["20b"].layout.lanes
+        per_lane_32 = d32.dsp / PAPER_DESIGNS["32b"].layout.lanes
+        assert per_lane_32 > per_lane_20
+
+    def test_smaller_r_saves_resources(self):
+        base = PAPER_DESIGNS["20b"]
+        lanes = base.layout.lanes
+        small = estimate_core_resources(replace(base, rows_per_packet=max(1, lanes // 4)))
+        full = estimate_core_resources(replace(base, rows_per_packet=lanes))
+        saving = 1 - small.lut / full.lut
+        # Section IV-B: "resource savings up to 50%" (r = B/4 vs r = B;
+        # integer rounding of r makes the saving land slightly above 50%).
+        assert saving == pytest.approx(0.5, abs=0.05)
+
+    def test_more_cores_fit_than_32(self):
+        # The paper: "we could easily place more cores given our design's
+        # low resource footprint" — channels, not area, are the limit.
+        for design in PAPER_DESIGNS.values():
+            assert max_cores_placeable(design) > 32
+
+    def test_check_fits_passes_paper_designs(self):
+        model = ResourceModel()
+        for design in PAPER_DESIGNS.values():
+            model.check_fits(design)
+
+    def test_check_fits_rejects_absurd_design(self):
+        from repro.errors import CapacityError
+        from repro.hw.design import AcceleratorDesign
+
+        huge = AcceleratorDesign(name="huge", value_bits=20, cores=500)
+        with pytest.raises(CapacityError):
+            ResourceModel().check_fits(huge)
+
+
+class TestResourceUsage:
+    def test_add_and_scale(self):
+        a = ResourceUsage(1, 2, 3, 4, 5)
+        b = ResourceUsage(10, 20, 30, 40, 50)
+        total = a + b.scale(0.1)
+        assert total == ResourceUsage(2, 4, 6, 8, 10)
+
+    def test_utilization_keys(self):
+        u = ResourceUsage(1, 1, 1, 1, 1).utilization(U280_AVAILABLE)
+        assert sorted(u) == sorted(_RESOURCES)
+
+    def test_fits(self):
+        assert ResourceUsage(1, 1, 1, 1, 1).fits(U280_AVAILABLE)
+        assert not U280_AVAILABLE.scale(1.01).fits(U280_AVAILABLE)

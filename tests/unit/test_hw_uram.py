@@ -1,0 +1,56 @@
+"""Unit tests for the URAM capacity model."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.hw.uram import (
+    ALVEO_U280_URAM,
+    ALVEO_U280_URAM_PHYSICAL,
+    blocks_per_replica,
+    check_vector_fits,
+    max_vector_size,
+    replicas_needed,
+)
+
+
+class TestReplication:
+    @pytest.mark.parametrize("lanes,expected", [(1, 1), (2, 1), (15, 8), (11, 6), (13, 7)])
+    def test_ceil_b_over_2(self, lanes, expected):
+        assert replicas_needed(lanes) == expected
+
+    def test_more_ports_fewer_replicas(self):
+        assert replicas_needed(15, read_ports=4) == 4
+
+
+class TestCapacity:
+    def test_paper_80000_claim(self):
+        # Section IV-A: worst case 32-bit values, 32 cores, 8 replicas.
+        limit = max_vector_size(cores=32, lanes=15, x_bits=32)
+        assert limit >= 80_000
+
+    def test_m1024_fits_one_block(self):
+        assert blocks_per_replica(1024, 32) == 1
+
+    def test_large_vector_needs_multiple_blocks(self):
+        assert blocks_per_replica(80_000, 32) == 9  # 320 KB / 36 KB
+
+    def test_check_vector_fits_passes_for_m1024(self):
+        check_vector_fits(1024, cores=32, lanes=15)
+
+    def test_check_vector_fits_raises_beyond_limit(self):
+        with pytest.raises(CapacityError):
+            check_vector_fits(200_000, cores=32, lanes=15)
+
+    def test_physical_budget_is_smaller(self):
+        # DESIGN.md §5: the paper's 90 MB assumption vs the silicon's 34.56 MB.
+        assert ALVEO_U280_URAM_PHYSICAL.total_bytes < ALVEO_U280_URAM.total_bytes
+        physical_limit = max_vector_size(
+            cores=32, lanes=15, x_bits=32, spec=ALVEO_U280_URAM_PHYSICAL
+        )
+        assert physical_limit < 80_000
+
+    def test_fewer_cores_increase_limit(self):
+        assert max_vector_size(cores=8, lanes=15) > max_vector_size(cores=32, lanes=15)
+
+    def test_block_count(self):
+        assert ALVEO_U280_URAM_PHYSICAL.n_blocks == 960
