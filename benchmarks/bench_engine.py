@@ -1,5 +1,9 @@
 """Benchmarks for the end-to-end engine and its components."""
 
+import json
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -8,8 +12,10 @@ from repro.arithmetic.codecs import codec_for_design
 from repro.baselines.cpu import CpuTopKSpmv
 from repro.baselines.gpu import GpuTopKSpmv
 from repro.core.dataflow import DataflowCore
+from repro.data.synthetic import synthetic_embeddings
 from repro.formats.bscsr import encode_bscsr
 from repro.formats.layout import solve_layout
+from repro.utils.rng import sample_unit_queries
 
 
 @pytest.fixture(scope="module")
@@ -64,3 +70,64 @@ def test_exact_reference_query(benchmark, bench_matrix, bench_query):
 
     result = benchmark(exact_topk_spmv, bench_matrix, bench_query, 100)
     assert len(result) == 100
+
+
+def test_batched_vs_looped_query_scaling():
+    """The vectorised multi-query dataflow vs a loop of query() at Q=1/16/128.
+
+    Emits ``benchmarks/results/batch_speedup.json`` so successive PRs can
+    track the speedup trajectory, and asserts the ISSUE-1 acceptance floor:
+    the batched engine path is >= 5x faster wall-clock than the looped path
+    at Q = 128 on the bench's synthetic collection.
+    """
+    matrix = synthetic_embeddings(
+        n_rows=4000, n_cols=256, avg_nnz=12, distribution="uniform", seed=99
+    )
+    engine = TopKSpmvEngine(matrix, design=PAPER_DESIGNS["20b"])
+    top_k = 100
+    repeats = 3
+    measurements = {}
+    for n_queries in (1, 16, 128):
+        queries = sample_unit_queries(np.random.default_rng(3), n_queries, 256)
+        # Warm both paths (plan cache, allocator) before timing.
+        engine.query_batch(queries[:1], top_k)
+        engine.query(queries[0], top_k)
+
+        looped = min(
+            _timed(lambda: [engine.query(x, top_k).topk for x in queries])
+            for _ in range(repeats)
+        )
+        batched = min(
+            _timed(lambda: engine.query_batch(queries, top_k))
+            for _ in range(repeats)
+        )
+        # The batched path must stay bit-identical while being faster.
+        batch = engine.query_batch(queries, top_k)
+        for x, got in zip(queries, batch.topk):
+            assert got.indices.tolist() == engine.query(x, top_k).topk.indices.tolist()
+        measurements[n_queries] = {
+            "looped_s": looped,
+            "batched_s": batched,
+            "speedup": looped / batched,
+        }
+
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    payload = {
+        "collection": {"rows": 4000, "cols": 256, "avg_nnz": 12, "seed": 99},
+        "design": "20b",
+        "top_k": top_k,
+        "batch_sizes": {str(q): m for q, m in measurements.items()},
+    }
+    with open(results_dir / "batch_speedup.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    assert measurements[128]["speedup"] >= 5.0, (
+        f"batched path only {measurements[128]['speedup']:.1f}x faster at Q=128"
+    )
+
+
+def _timed(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started

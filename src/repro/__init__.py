@@ -23,7 +23,7 @@ Quickstart
 >>> hits = engine.query(x, top_k=10).topk
 """
 
-from repro.core.engine import TopKSpmvEngine, EngineResult
+from repro.core.engine import TopKSpmvEngine, EngineResult, BatchResult
 from repro.core.reference import TopKResult, exact_topk_spmv
 from repro.core.approx import approximate_topk_spmv
 from repro.core.precision_model import (
@@ -39,6 +39,7 @@ __version__ = "1.0.0"
 __all__ = [
     "TopKSpmvEngine",
     "EngineResult",
+    "BatchResult",
     "TopKResult",
     "exact_topk_spmv",
     "approximate_topk_spmv",

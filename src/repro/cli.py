@@ -6,6 +6,7 @@ Usage::
     python -m repro all               # everything (writes nothing)
     python -m repro all -o EXPERIMENTS_RUN.md
     python -m repro figure7 --quick   # reduced scale for a fast look
+    python -m repro serve-bench --shards 4 --batch-size 16 --json serve.json
 """
 
 from __future__ import annotations
@@ -30,8 +31,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["all"],
-        help="which experiment to regenerate",
+        choices=sorted(ALL_EXPERIMENTS) + ["all", "serve-bench"],
+        help="which experiment to regenerate (serve-bench runs the sharded "
+        "batch serving simulation instead of a paper artifact)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -52,12 +54,90 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", type=str, default=None,
         help="also write the report(s) to this file",
     )
+    serving = parser.add_argument_group("serve-bench options")
+    serving.add_argument(
+        "--shards", type=int, default=4,
+        help="number of simulated boards to row-shard across (default 4)",
+    )
+    serving.add_argument(
+        "--cores-per-shard", type=int, default=None,
+        help="give each shard its own full board with this many cores "
+        "(default: spread the design's partition streams across shards)",
+    )
+    serving.add_argument(
+        "--batch-size", type=int, default=16,
+        help="micro-batcher max batch size (default 16)",
+    )
+    serving.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="micro-batcher coalescing deadline in ms (default 2.0)",
+    )
+    serving.add_argument(
+        "--n-queries", type=int, default=256,
+        help="length of the simulated query stream (default 256)",
+    )
+    serving.add_argument(
+        "--rate-qps", type=float, default=None,
+        help="offered Poisson load; default ~80%% of fleet scan capacity",
+    )
+    serving.add_argument(
+        "--design", type=str, default="20b",
+        choices=["20b", "25b", "32b", "f32"],
+        help="accelerator design point served (default 20b)",
+    )
+    serving.add_argument(
+        "--json", type=str, default=None, metavar="PATH",
+        help="also dump the serve-bench numbers as JSON",
+    )
     return parser
 
 
+def _serve_bench_config(args: argparse.Namespace) -> "ServeBenchConfig":
+    from repro.serving.bench import ServeBenchConfig
+
+    config = ServeBenchConfig(
+        design=args.design,
+        n_shards=args.shards,
+        cores_per_shard=args.cores_per_shard,
+        n_queries=args.n_queries,
+        max_batch_size=args.batch_size,
+        max_wait_ms=args.max_wait_ms,
+        rate_qps=args.rate_qps,
+        seed=args.seed if args.seed is not None else 0,
+    )
+    if args.quick:
+        config = config.quick()
+    if args.rows is not None:
+        from dataclasses import replace
+
+        config = replace(config, rows=args.rows)
+    return config
+
+
+def _run_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serving.bench import run_serve_bench, write_json
+
+    if args.paper_scale:
+        raise SystemExit(
+            "serve-bench has no paper-scale preset; size it with "
+            "--rows/--n-queries instead"
+        )
+    started = time.perf_counter()
+    text, payload = run_serve_bench(_serve_bench_config(args))
+    elapsed = time.perf_counter() - started
+    print(text)
+    print(f"[serve-bench completed in {elapsed:.1f}s]\n", file=sys.stderr)
+    if args.json:
+        write_json(payload, args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
 def _make_config(args: argparse.Namespace) -> ExperimentConfig:
-    if args.quick and args.paper_scale:
-        raise SystemExit("--quick and --paper-scale are mutually exclusive")
     if args.quick:
         config = ExperimentConfig.quick()
     elif args.paper_scale:
@@ -79,6 +159,10 @@ def _make_config(args: argparse.Namespace) -> ExperimentConfig:
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.quick and args.paper_scale:
+        raise SystemExit("--quick and --paper-scale are mutually exclusive")
+    if args.experiment == "serve-bench":
+        return _run_serve_bench(args)
     config = _make_config(args)
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
 

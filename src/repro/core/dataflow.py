@@ -21,7 +21,7 @@ reproduced here with NumPy float32 arithmetic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -31,7 +31,15 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.formats.bscsr import BSCSRMatrix, BSCSRStream
 from repro.utils.validation import check_positive_int
 
-__all__ = ["DataflowStats", "DataflowCore", "simulate_dataflow", "simulate_multicore"]
+__all__ = [
+    "DataflowStats",
+    "DataflowCore",
+    "StreamPlan",
+    "plan_stream",
+    "simulate_dataflow",
+    "simulate_multicore",
+    "simulate_multicore_batch",
+]
 
 
 @dataclass
@@ -71,15 +79,17 @@ class DataflowCore:
             Scratchpad depth ``k`` (the paper uses 8).
         x:
             The dense query vector *as stored in URAM* — already quantised
-            by the caller to the design's query precision.
+            by the caller to the design's query precision.  A ``(Q, n_cols)``
+            block of queries is accepted for :meth:`run_fast_batch`; the
+            single-query paths (:meth:`run`, :meth:`run_fast`) require 1-D.
         accumulate_dtype:
             ``np.float64`` models exact fixed-point accumulation;
             ``np.float32`` models the F32 design's floating-point adders.
         """
         self.local_k = check_positive_int(local_k, "local_k")
         self.x = np.asarray(x, dtype=np.float64)
-        if self.x.ndim != 1:
-            raise ConfigurationError(f"x must be 1-D, got shape {self.x.shape}")
+        if self.x.ndim not in (1, 2):
+            raise ConfigurationError(f"x must be 1-D or 2-D, got shape {self.x.shape}")
         dtype = np.dtype(accumulate_dtype)
         if dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
             raise ConfigurationError(
@@ -92,16 +102,12 @@ class DataflowCore:
 
         Local result indices are partition-local row ids.
         """
-        if stream.n_cols > len(self.x):
-            raise ConfigurationError(
-                f"stream has {stream.n_cols} columns but URAM holds "
-                f"{len(self.x)} entries of x"
-            )
+        x_uram = self._single_query(stream)
         acc = self.accumulate_dtype
         tracker = TopKTracker(self.local_k)
         stats = DataflowStats()
         values = stream.values().astype(acc)
-        x = self.x.astype(acc)
+        x = x_uram.astype(acc)
 
         # Lanes of the row currently being accumulated (possibly spanning
         # packets).  The row's value is a single balanced reduction over all
@@ -153,11 +159,7 @@ class DataflowCore:
         behaviour is order-dependent).  Tests assert equality with
         :meth:`run` packet by packet.
         """
-        if stream.n_cols > len(self.x):
-            raise ConfigurationError(
-                f"stream has {stream.n_cols} columns but URAM holds "
-                f"{len(self.x)} entries of x"
-            )
+        x_uram = self._single_query(stream)
         acc = self.accumulate_dtype
         tracker = TopKTracker(self.local_k)
         stats = DataflowStats(packets=stream.n_packets)
@@ -170,7 +172,7 @@ class DataflowCore:
 
         lanes = stream.layout.lanes
         values = stream.values().astype(acc)
-        x = self.x.astype(acc)
+        x = x_uram.astype(acc)
         products = (values * x[stream.idx])
 
         bounds = stream.ptr.astype(np.int64)
@@ -205,6 +207,236 @@ class DataflowCore:
             np.arange(stream.n_rows, dtype=np.int64), row_values.astype(np.float64)
         )
         return tracker.result(), stats
+
+    def run_fast_batch(
+        self, stream: BSCSRStream, plan: "StreamPlan | None" = None
+    ) -> tuple[list[TopKResult], list[DataflowStats]]:
+        """Stream the partition once against a ``(Q, n_cols)`` query block.
+
+        Computes every query's row values with one broadcast multiply and one
+        ``np.add.reduceat`` sweep over the shared lane stream, then applies
+        each query's Top-K scratchpad sequentially.  Per query, indices and
+        float-bit values are identical to :meth:`run_fast` on that query
+        alone: the kept-lane products are the same elementwise float32/64
+        operations, and a 2-D ``reduceat`` along axis 1 reduces each row's
+        contiguous segments through the same inner loop as the 1-D call
+        (the batched-dataflow property suite asserts bitwise equality).
+
+        ``plan`` caches the query-independent stream structure (kept lanes,
+        segment starts, structural counters) so serving layers can amortise
+        it across batches; omit it to derive the plan on the fly.
+        """
+        X = self._query_block(stream)
+        if plan is None:
+            plan = plan_stream(stream)
+        results, accepts = _run_block_on_plan(
+            X, plan, self.accumulate_dtype, self.local_k
+        )
+        stats_list = [
+            replace(plan.stats, tracker_accepts=int(a)) for a in accepts
+        ]
+        return results, stats_list
+
+    # ------------------------------------------------------------------ #
+    # Query-shape plumbing
+    # ------------------------------------------------------------------ #
+    def _single_query(self, stream: BSCSRStream) -> np.ndarray:
+        if self.x.ndim != 1:
+            raise ConfigurationError(
+                f"this path takes one 1-D query, got a block of shape "
+                f"{self.x.shape}; use run_fast_batch"
+            )
+        if stream.n_cols > len(self.x):
+            raise ConfigurationError(
+                f"stream has {stream.n_cols} columns but URAM holds "
+                f"{len(self.x)} entries of x"
+            )
+        return self.x
+
+    def _query_block(self, stream: BSCSRStream) -> np.ndarray:
+        X = np.atleast_2d(self.x)
+        if stream.n_cols > X.shape[1]:
+            raise ConfigurationError(
+                f"stream has {stream.n_cols} columns but URAM holds "
+                f"{X.shape[1]} entries per query"
+            )
+        return X
+
+
+@dataclass(frozen=True)
+class StreamPlan:
+    """Query-independent structure of one BS-CSR stream.
+
+    Everything :meth:`DataflowCore.run_fast` derives from the packet stream
+    *before* touching the query vector: the kept (non-padding) lanes with
+    their decoded values and column indices, the per-row reduction segment
+    starts, and the structural counters.  Building the plan once and reusing
+    it across queries/batches is what makes the batched path amortise the
+    stream walk.
+    """
+
+    n_rows: int
+    kept_idx: np.ndarray
+    kept_values: np.ndarray
+    starts: np.ndarray
+    stats: DataflowStats
+
+
+def plan_stream(stream: BSCSRStream) -> StreamPlan:
+    """Derive a :class:`StreamPlan` (the structure half of :meth:`run_fast`).
+
+    Mirrors the fast path's lane bookkeeping exactly: padding lanes are
+    dropped (they would change the float32 reduction tree), row boundaries
+    become ``reduceat`` segment starts in stream order.
+    """
+    stats = DataflowStats(packets=stream.n_packets)
+    empty = StreamPlan(
+        n_rows=0,
+        kept_idx=np.empty(0, dtype=np.int64),
+        kept_values=np.empty(0, dtype=np.float64),
+        starts=np.empty(0, dtype=np.int64),
+        stats=stats,
+    )
+    if stream.n_packets == 0:
+        if stream.n_rows != 0:
+            raise SimulationError(f"empty stream declares {stream.n_rows} rows")
+        return empty
+
+    lanes = stream.layout.lanes
+    bounds = stream.ptr.astype(np.int64)
+    valid_mask = bounds > 0
+    last_bound = bounds.max(axis=1)
+    closes = np.ones(stream.n_packets, dtype=bool)
+    if stream.n_packets > 1:
+        closes[:-1] = stream.new_row[1:]
+    kept_per_packet = np.where(closes, last_bound, lanes)
+    keep = np.arange(lanes)[None, :] < kept_per_packet[:, None]
+
+    cum_kept = np.concatenate([[0], np.cumsum(kept_per_packet)])
+    packet_of_bound, _ = np.nonzero(valid_mask)
+    ends = cum_kept[packet_of_bound] + bounds[valid_mask]
+    if len(ends) != stream.n_rows:
+        raise SimulationError(
+            f"stream has {len(ends)} row boundaries, declares {stream.n_rows} rows"
+        )
+    stats.rows_finished = int(len(ends))
+    stats.max_rows_in_packet = int(valid_mask.sum(axis=1).max(initial=0))
+    stats.spanning_rows = int((~stream.new_row[1:]).sum()) if stream.n_packets > 1 else 0
+    if stream.n_rows == 0:
+        return replace(empty, stats=stats)
+
+    return StreamPlan(
+        n_rows=stream.n_rows,
+        kept_idx=stream.idx[keep].astype(np.int64),
+        kept_values=stream.values()[keep],
+        starts=np.concatenate([[0], ends[:-1]]).astype(np.int64),
+        stats=stats,
+    )
+
+
+def _run_block_on_plan(
+    X: np.ndarray,
+    plan: "StreamPlan",
+    accumulate_dtype: np.dtype,
+    local_k: int,
+) -> tuple[list[TopKResult], np.ndarray]:
+    """One stream against a query block: per-query top-k + accept counts."""
+    n_queries = X.shape[0]
+    if plan.n_rows == 0:
+        return (
+            [TopKTracker(local_k).result() for _ in range(n_queries)],
+            np.zeros(n_queries, dtype=np.int64),
+        )
+    values = plan.kept_values.astype(accumulate_dtype)
+    # Chunk the query dimension so the (chunk, kept_lanes) intermediates stay
+    # cache-resident at large Q; rows are independent, so chunking cannot
+    # change any per-query bit.
+    chunk = 32
+    row_values = np.empty((n_queries, plan.n_rows), dtype=np.float64)
+    for q0 in range(0, n_queries, chunk):
+        block = X[q0 : q0 + chunk].astype(accumulate_dtype)
+        products = values[None, :] * block[:, plan.kept_idx]
+        reduced = np.add.reduceat(products, plan.starts, axis=1)
+        row_values[q0 : q0 + chunk] = reduced.astype(accumulate_dtype)
+    return _batch_scratchpads(row_values, local_k)
+
+
+def _batch_scratchpads(
+    row_values: np.ndarray, local_k: int
+) -> tuple[list[TopKResult], np.ndarray]:
+    """Every query's Top-K scratchpad over one partition's finished rows.
+
+    Bit-identical to running :class:`TopKTracker` per query (sequential
+    insert in row order) but organised for a whole ``(Q, n_rows)`` block:
+
+    * the first ``k`` rows of any query always land in slots ``0..k-1``
+      (argmin hits the first −inf register), so the fill is one array copy;
+    * the eviction threshold never decreases, so each doubling window of
+      rows is pre-filtered against every query's *current* worst with one
+      vectorised compare — only the ~``k·ln(n/k)`` genuine contenders reach
+      the sequential argmin loop;
+    * final per-query ordering (desc value, asc row) is one batched lexsort.
+
+    Non-finite row values (impossible for real dot products) fall back to
+    the reference tracker so the equivalence guarantee holds unconditionally.
+    """
+    n_queries, n_rows = row_values.shape
+    if not np.isfinite(row_values).all():
+        results = []
+        accepts = np.zeros(n_queries, dtype=np.int64)
+        row_ids = np.arange(n_rows, dtype=np.int64)
+        for q in range(n_queries):
+            tracker = TopKTracker(local_k)
+            accepts[q] = tracker.insert_many(row_ids, row_values[q])
+            results.append(tracker.result())
+        return results, accepts
+
+    fill = min(local_k, n_rows)
+    vals = np.full((n_queries, local_k), -np.inf)
+    rows = np.full((n_queries, local_k), -1, dtype=np.int64)
+    vals[:, :fill] = row_values[:, :fill]
+    rows[:, :fill] = np.arange(fill, dtype=np.int64)
+    accepts = np.full(n_queries, fill, dtype=np.int64)
+
+    if n_rows > local_k:
+        # Python-list scratchpads: min()/list.index() on k≈8 entries beat
+        # numpy call overhead by an order of magnitude in this inner loop.
+        tracker_vals = vals.tolist()
+        tracker_rows = rows.tolist()
+        accept_counts = accepts.tolist()
+        worsts = [min(tv) for tv in tracker_vals]
+        lo = local_k
+        while lo < n_rows:
+            hi = min(n_rows, 2 * lo)
+            thresholds = np.array(worsts)
+            # Rows below a query's current worst are rejected no matter when
+            # they arrive (the threshold only rises); nonzero yields the
+            # survivors in (query, row) order — the tracker's insert order.
+            window = row_values[:, lo:hi]
+            survives = window >= thresholds[:, None]
+            qq, jj = np.nonzero(survives)
+            for q, j, value in zip(qq.tolist(), jj.tolist(), window[survives].tolist()):
+                worst = worsts[q]
+                if value >= worst:
+                    tracker = tracker_vals[q]
+                    slot = tracker.index(worst)
+                    tracker[slot] = value
+                    tracker_rows[q][slot] = lo + j
+                    accept_counts[q] += 1
+                    worsts[q] = min(tracker)
+            lo = hi
+        vals = np.array(tracker_vals)
+        rows = np.array(tracker_rows, dtype=np.int64)
+        accepts = np.array(accept_counts, dtype=np.int64)
+
+    order = np.lexsort((rows, -vals), axis=-1)
+    vals = np.take_along_axis(vals, order, axis=1)
+    rows = np.take_along_axis(rows, order, axis=1)
+    results = []
+    for q in range(n_queries):
+        kept = rows[q] >= 0
+        results.append(TopKResult(indices=rows[q][kept], values=vals[q][kept]))
+    return results, accepts
 
 
 def simulate_dataflow(
@@ -246,4 +478,73 @@ def simulate_multicore(
             TopKResult(indices=local.indices + int(offset), values=local.values)
         )
         totals = totals.merge(stats)
+    return results, totals
+
+
+def simulate_multicore_batch(
+    matrix: BSCSRMatrix,
+    queries: np.ndarray,
+    local_k: int,
+    accumulate_dtype: np.dtype = np.float64,
+    plans: "list[StreamPlan] | None" = None,
+) -> tuple[list[list[TopKResult]], list[DataflowStats]]:
+    """Run a ``(Q, n_cols)`` query block through every partition's core.
+
+    The vectorised counterpart of looping :func:`simulate_multicore` over the
+    block's rows: each partition stream is walked once, all queries' row
+    values fall out of one broadcast multiply + ``reduceat`` sweep, and each
+    query gets its own Top-K scratchpads in the same insert order.  Per
+    query the candidate lists and merged stats are bit-identical to the
+    sequential loop (asserted by ``tests/property/test_prop_batch_dataflow``).
+
+    Parameters
+    ----------
+    matrix:
+        The encoded multi-partition collection.
+    queries:
+        Query block, shape ``(Q, n_cols)`` (a single 1-D query is promoted).
+    plans:
+        Optional pre-built per-partition :class:`StreamPlan` list (must align
+        with ``matrix.streams``); serving layers cache these across batches.
+
+    Returns
+    -------
+    results, stats:
+        ``results[q]`` is query ``q``'s per-core candidate list with global
+        row ids; ``stats[q]`` its merged whole-accelerator counters.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if queries.ndim != 2:
+        raise ConfigurationError(
+            f"queries must be a (Q, n_cols) block, got shape {queries.shape}"
+        )
+    if plans is None:
+        plans = [plan_stream(s) for s in matrix.streams]
+    elif len(plans) != len(matrix.streams):
+        raise ConfigurationError(
+            f"{len(plans)} plans supplied for {len(matrix.streams)} streams"
+        )
+    n_queries = queries.shape[0]
+    results: list[list[TopKResult]] = [[] for _ in range(n_queries)]
+    core = DataflowCore(local_k=local_k, x=queries, accumulate_dtype=accumulate_dtype)
+    # The structural counters are query-independent: fold them across
+    # partitions once instead of per query, then graft in each query's
+    # tracker-accept total (exactly what a merge of per-stream stats yields).
+    base = DataflowStats()
+    accept_totals = np.zeros(n_queries, dtype=np.int64)
+    for stream, offset, plan in zip(matrix.streams, matrix.row_offsets, plans):
+        X = core._query_block(stream)
+        local_results, accepts = _run_block_on_plan(
+            X, plan, core.accumulate_dtype, core.local_k
+        )
+        offset = int(offset)
+        for q in range(n_queries):
+            local = local_results[q]
+            # Fresh arrays from _run_block_on_plan: globalise ids in place
+            # (TopKResult is frozen, its arrays are not).
+            local.indices.__iadd__(offset)
+            results[q].append(local)
+        base = base.merge(plan.stats)
+        accept_totals += accepts
+    totals = [replace(base, tracker_accepts=int(a)) for a in accept_totals]
     return results, totals

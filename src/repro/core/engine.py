@@ -18,6 +18,22 @@ Example
 >>> result = engine.query(x / np.linalg.norm(x), top_k=10)
 >>> len(result.topk)
 10
+
+Batched queries
+---------------
+:meth:`TopKSpmvEngine.query_batch` takes a ``(Q, n_cols)`` block and runs the
+vectorised multi-query dataflow (one broadcast multiply + reduction sweep per
+partition, shared across the block) instead of re-walking the packet streams
+per query.  Results are bit-identical to looping :meth:`~TopKSpmvEngine.query`
+but the software hot path no longer scales with the per-query stream walk:
+
+>>> X = np.abs(np.random.default_rng(1).standard_normal((64, 512)))
+>>> X /= np.linalg.norm(X, axis=1, keepdims=True)
+>>> batch = engine.query_batch(X, top_k=10)
+>>> len(batch), len(batch.dataflow)        # per-query topk and stats
+(64, 64)
+>>> batch.queries_per_second > 0
+True
 """
 
 from __future__ import annotations
@@ -27,7 +43,13 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.core.approx import merge_topk_candidates
-from repro.core.dataflow import DataflowStats, simulate_multicore
+from repro.core.dataflow import (
+    DataflowStats,
+    StreamPlan,
+    plan_stream,
+    simulate_multicore,
+    simulate_multicore_batch,
+)
 from repro.core.reference import TopKResult, exact_topk_spmv
 from repro.errors import ConfigurationError
 from repro.formats.bscsr import BSCSRMatrix
@@ -40,7 +62,34 @@ from repro.hw.power import estimate_fpga_power_w
 from repro.hw.uram import ALVEO_U280_URAM, URAMSpec, check_vector_fits
 from repro.utils.validation import check_positive_int
 
-__all__ = ["EngineResult", "BatchResult", "TopKSpmvEngine", "as_csr_matrix"]
+__all__ = [
+    "EngineResult",
+    "BatchResult",
+    "TopKSpmvEngine",
+    "as_csr_matrix",
+    "check_query_vector",
+    "check_query_block",
+]
+
+
+def check_query_vector(x: np.ndarray, n_cols: int) -> np.ndarray:
+    """Validate one dense query against the collection width."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (n_cols,):
+        raise ConfigurationError(
+            f"query must have shape ({n_cols},), got {x.shape}"
+        )
+    return x
+
+
+def check_query_block(queries: np.ndarray, n_cols: int) -> np.ndarray:
+    """Validate a ``(Q, n_cols)`` query block (1-D input is promoted)."""
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if queries.ndim != 2 or queries.shape[1] != n_cols:
+        raise ConfigurationError(
+            f"queries must have shape (Q, {n_cols}), got {queries.shape}"
+        )
+    return queries
 
 
 def as_csr_matrix(matrix) -> CSRMatrix:
@@ -60,15 +109,28 @@ def as_csr_matrix(matrix) -> CSRMatrix:
 
 @dataclass(frozen=True)
 class BatchResult:
-    """Result of a back-to-back batch of queries on one board."""
+    """Result of a back-to-back batch of queries on one board.
+
+    ``topk`` and ``dataflow`` are per-query (index-aligned with the input
+    block); the timing/energy fields describe the whole batch.
+    """
 
     topk: "list[TopKResult]"
     seconds: float
     queries_per_second: float
     energy_j: float
+    dataflow: "tuple[DataflowStats, ...]" = ()
 
     def __len__(self) -> int:
         return len(self.topk)
+
+    @property
+    def dataflow_totals(self) -> DataflowStats:
+        """Counters merged over every query of the batch."""
+        totals = DataflowStats()
+        for stats in self.dataflow:
+            totals = totals.merge(stats)
+        return totals
 
 
 @dataclass(frozen=True)
@@ -147,6 +209,9 @@ class TopKSpmvEngine:
         # Timing depends only on the stream shape, not the query: cache it.
         self._timing = self.accelerator.timing_from_matrix(self.encoded)
         self._power_w = estimate_fpga_power_w(design, constants)
+        # Per-stream batch plans are query-independent too, but lazily built:
+        # single-query workloads never pay for them.
+        self._plans: "list[StreamPlan] | None" = None
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -194,22 +259,51 @@ class TopKSpmvEngine:
         x = self._check_query(x)
         return exact_topk_spmv(self.matrix, x, top_k)
 
+    def query_candidates_batch(
+        self, queries: np.ndarray
+    ) -> tuple[list[list[TopKResult]], list[DataflowStats]]:
+        """Run the cores once against a query block; raw candidates per query.
+
+        The block is validated and quantised once; every partition stream is
+        walked once for the whole block (see
+        :func:`repro.core.dataflow.simulate_multicore_batch`).  ``result[q]``
+        holds query ``q``'s per-core k-candidate lists with global row ids.
+        """
+        queries = self._check_query_block(queries)
+        x_uram = self.design.quantize_query(queries)
+        return simulate_multicore_batch(
+            self.encoded,
+            x_uram,
+            local_k=self.design.local_k,
+            accumulate_dtype=self.design.accumulate_dtype,
+            plans=self.stream_plans(),
+        )
+
     def query_batch(self, queries: np.ndarray, top_k: int) -> "BatchResult":
         """Serve a batch of queries back-to-back on the simulated board.
 
-        The design streams the whole matrix once per query (queries are
-        independent scans); the modelled batch latency is therefore
-        ``n x makespan`` plus a single host invocation — consecutive scans
+        The whole ``(Q, n_cols)`` block is validated and quantised once and
+        runs through the vectorised multi-query dataflow — per query the
+        top-k (and dataflow counters) are bit-identical to
+        :meth:`query`, but the software hot path walks each partition
+        stream once per *batch* instead of once per query.
+
+        The modelled hardware still streams the matrix once per query
+        (queries are independent scans); the batch latency is therefore
+        ``Q x makespan`` plus a single host invocation — consecutive scans
         overlap the host round-trip, which is how a real deployment would
         drive the board.
         """
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        if queries.shape[1] != self.matrix.n_cols:
+        top_k = check_positive_int(top_k, "top_k")
+        if top_k > self.design.local_k * self.design.cores:
             raise ConfigurationError(
-                f"queries must have {self.matrix.n_cols} columns, "
-                f"got {queries.shape[1]}"
+                f"top_k = {top_k} exceeds k*c = "
+                f"{self.design.local_k * self.design.cores} candidates; "
+                "increase local_k or cores"
             )
-        results = [self.query(x, top_k).topk for x in queries]
+        queries = self._check_query_block(queries)
+        candidates, stats = self.query_candidates_batch(queries)
+        results = [merge_topk_candidates(c, top_k) for c in candidates]
         batch_seconds = (
             len(queries) * self._timing.makespan_s + self.constants.host_overhead_s
         )
@@ -218,6 +312,7 @@ class TopKSpmvEngine:
             seconds=batch_seconds,
             queries_per_second=len(queries) / batch_seconds,
             energy_j=self._power_w * batch_seconds,
+            dataflow=tuple(stats),
         )
 
     # ------------------------------------------------------------------ #
@@ -247,10 +342,14 @@ class TopKSpmvEngine:
         ]
         return "\n".join(lines)
 
+    def stream_plans(self) -> "list[StreamPlan]":
+        """Per-partition batch plans (built on first use, then cached)."""
+        if self._plans is None:
+            self._plans = [plan_stream(s) for s in self.encoded.streams]
+        return self._plans
+
     def _check_query(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        if x.shape != (self.matrix.n_cols,):
-            raise ConfigurationError(
-                f"query must have shape ({self.matrix.n_cols},), got {x.shape}"
-            )
-        return x
+        return check_query_vector(x, self.matrix.n_cols)
+
+    def _check_query_block(self, queries: np.ndarray) -> np.ndarray:
+        return check_query_block(queries, self.matrix.n_cols)

@@ -59,11 +59,39 @@ class TopKTracker:
         """Offer a batch of finished rows in order; returns the accept count.
 
         The hardware processes finished rows of one packet through the same
-        sequential argmin unit, so order matters and is preserved.
+        sequential argmin unit, so order matters and is preserved.  The
+        implementation short-circuits two cases that cannot change the
+        sequential outcome — it stays bit-identical to a loop of
+        :meth:`insert` (the batched-dataflow property suite asserts this):
+
+        * an empty tracker accepts the first ``k`` finite values into slots
+          ``0..k-1`` in order (argmin always lands on the first −inf slot);
+        * once every slot is finite the eviction threshold never decreases,
+          so any value below the threshold *at entry* is rejected no matter
+          when it arrives and cannot perturb later slot choices.
         """
+        rows = np.asarray(rows)
+        values = np.asarray(values, dtype=np.float64)
+        n = min(len(rows), len(values))
         accepted = 0
-        for row, value in zip(np.asarray(rows), np.asarray(values)):
-            accepted += self.insert(int(row), float(value))
+        start = 0
+        if self._inserted == 0 and bool((self._indices < 0).all()):
+            fill = min(self.k, n)
+            head = values[:fill]
+            if fill and np.isfinite(head).all():
+                self._values[:fill] = head
+                self._indices[:fill] = np.asarray(rows[:fill], dtype=np.int64)
+                self._inserted += fill
+                accepted += fill
+                start = fill
+        if start < n:
+            worst = float(self._values.min())
+            if np.isfinite(worst):
+                survivors = np.nonzero(values[start:n] >= worst)[0] + start
+            else:
+                survivors = np.arange(start, n)
+            for j in survivors:
+                accepted += self.insert(int(rows[j]), float(values[j]))
         return accepted
 
     def result(self) -> TopKResult:

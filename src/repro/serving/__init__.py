@@ -1,0 +1,24 @@
+"""Serving layer: sharded multi-board deployment + micro-batching queue.
+
+Everything above the single-board engine needed to model a production
+similarity-search service: :class:`~repro.serving.sharded.ShardedEngine`
+spreads one collection across N simulated boards with a scatter-gather
+merge, :class:`~repro.serving.batcher.MicroBatcher` coalesces a timed query
+stream into batches for the vectorised multi-query dataflow, and
+:mod:`repro.serving.bench` wires both into the ``serve-bench`` CLI workload.
+"""
+
+from repro.serving.batcher import MicroBatcher, ServingReport, poisson_arrivals
+from repro.serving.bench import ServeBenchConfig, run_serve_bench
+from repro.serving.sharded import EngineShard, ShardedEngine, ShardedResult
+
+__all__ = [
+    "MicroBatcher",
+    "ServingReport",
+    "poisson_arrivals",
+    "ServeBenchConfig",
+    "run_serve_bench",
+    "EngineShard",
+    "ShardedEngine",
+    "ShardedResult",
+]

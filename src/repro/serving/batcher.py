@@ -1,0 +1,217 @@
+"""Micro-batching request queue in front of a simulated engine.
+
+Deployments rarely see queries one at a time: a serving frontend coalesces
+requests that arrive close together into one batch so the board's scan
+amortises the host round-trip.  :class:`MicroBatcher` models exactly that as
+a deterministic event simulation — no wall clock, no threads:
+
+* requests arrive at given times (see :func:`poisson_arrivals`);
+* a batch dispatches as soon as it is **full** (``max_batch_size``) or the
+  oldest queued request has waited ``max_wait_s`` (the deadline), whichever
+  comes first — never before the board is free;
+* service time per batch is the engine's modelled batch latency
+  (``query_batch(...).seconds``), so shard makespans, host overhead and
+  design choice all flow into the latency distribution.
+
+The resulting :class:`ServingReport` carries per-request latencies and the
+derived p50/p99/QPS — the numbers a capacity planner actually wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.reference import TopKResult
+from repro.errors import ConfigurationError
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["poisson_arrivals", "ServedBatch", "ServingReport", "MicroBatcher"]
+
+
+def poisson_arrivals(
+    n: int, rate_qps: float, rng: "int | np.random.Generator | None" = None
+) -> np.ndarray:
+    """Arrival times (seconds, ascending from 0) of a Poisson query stream."""
+    n = check_positive_int(n, "n")
+    if rate_qps <= 0:
+        raise ConfigurationError(f"rate_qps must be > 0, got {rate_qps}")
+    gaps = derive_rng(rng).exponential(1.0 / rate_qps, size=n)
+    arrivals = np.cumsum(gaps)
+    return arrivals - arrivals[0]
+
+
+@dataclass(frozen=True)
+class ServedBatch:
+    """One dispatched batch: which requests, when, and how long it ran."""
+
+    indices: "tuple[int, ...]"
+    dispatch_s: float
+    service_s: float
+
+    @property
+    def size(self) -> int:
+        return len(self.indices)
+
+    @property
+    def completion_s(self) -> float:
+        return self.dispatch_s + self.service_s
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Latency/throughput summary of one simulated serving run."""
+
+    latencies_s: np.ndarray
+    batches: "tuple[ServedBatch, ...]"
+    span_s: float
+    energy_j: float
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.latencies_s)
+
+    @property
+    def n_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return 0.0
+        return float(np.mean([b.size for b in self.batches]))
+
+    @property
+    def p50_latency_s(self) -> float:
+        return float(np.percentile(self.latencies_s, 50))
+
+    @property
+    def p99_latency_s(self) -> float:
+        return float(np.percentile(self.latencies_s, 99))
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(np.mean(self.latencies_s))
+
+    @property
+    def qps(self) -> float:
+        """Completed queries per second over the busy span."""
+        if self.span_s <= 0.0:
+            return 0.0
+        return self.n_queries / self.span_s
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (used by the serve-bench CLI)."""
+        return {
+            "n_queries": self.n_queries,
+            "n_batches": self.n_batches,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_sizes": [b.size for b in self.batches],
+            "p50_latency_ms": self.p50_latency_s * 1e3,
+            "p99_latency_ms": self.p99_latency_s * 1e3,
+            "mean_latency_ms": self.mean_latency_s * 1e3,
+            "qps": self.qps,
+            "span_s": self.span_s,
+            "energy_j": self.energy_j,
+        }
+
+    def render(self) -> str:
+        """Human-readable block for CLI output."""
+        return "\n".join(
+            [
+                f"served {self.n_queries} queries in {self.n_batches} batches "
+                f"(mean size {self.mean_batch_size:.1f})",
+                f"latency p50 {self.p50_latency_s * 1e3:.3f} ms | "
+                f"p99 {self.p99_latency_s * 1e3:.3f} ms | "
+                f"mean {self.mean_latency_s * 1e3:.3f} ms",
+                f"throughput {self.qps:.1f} QPS over {self.span_s * 1e3:.1f} ms, "
+                f"energy {self.energy_j:.3f} J",
+            ]
+        )
+
+
+class MicroBatcher:
+    """Coalesce a timed query stream into batches for one engine.
+
+    ``engine`` is anything with ``query_batch(queries, top_k)`` returning an
+    object with ``topk`` (per-query results), ``seconds`` and ``energy_j`` —
+    both :class:`repro.core.engine.TopKSpmvEngine` and
+    :class:`repro.serving.sharded.ShardedEngine` qualify.
+    """
+
+    def __init__(self, engine, max_batch_size: int = 16, max_wait_s: float = 2e-3):
+        self.engine = engine
+        self.max_batch_size = check_positive_int(max_batch_size, "max_batch_size")
+        if max_wait_s < 0:
+            raise ConfigurationError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.max_wait_s = float(max_wait_s)
+
+    def run(
+        self,
+        queries: np.ndarray,
+        arrival_times_s: np.ndarray,
+        top_k: int,
+    ) -> tuple[list[TopKResult], ServingReport]:
+        """Simulate serving the stream; per-request results in input order."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        arrivals = np.asarray(arrival_times_s, dtype=np.float64)
+        if arrivals.ndim != 1 or len(arrivals) != len(queries):
+            raise ConfigurationError(
+                f"need one arrival time per query: {len(queries)} queries, "
+                f"arrival shape {arrivals.shape}"
+            )
+        if len(queries) == 0:
+            raise ConfigurationError("cannot serve an empty query stream")
+        order = np.argsort(arrivals, kind="stable")
+        arrivals = arrivals[order]
+
+        n = len(queries)
+        results: "list[TopKResult | None]" = [None] * n
+        latencies = np.zeros(n)
+        batches: list[ServedBatch] = []
+        energy = 0.0
+        t_free = 0.0
+        i = 0
+        while i < n:
+            head = arrivals[i]
+            earliest = max(head, t_free)
+            deadline = head + self.max_wait_s
+            j_full = i + self.max_batch_size - 1
+            if j_full < n and arrivals[j_full] <= max(deadline, earliest):
+                # The batch fills before the oldest request's deadline (or
+                # while the board is still busy): dispatch on fill.
+                dispatch = max(arrivals[j_full], earliest)
+                size = self.max_batch_size
+            else:
+                # Deadline expires first: take whatever has arrived by then
+                # (including requests that landed while the board was busy).
+                dispatch = max(deadline, earliest)
+                size = int(np.searchsorted(arrivals, dispatch, side="right")) - i
+                size = max(1, min(size, self.max_batch_size))
+            members = order[i : i + size]
+            served = self.engine.query_batch(queries[members], top_k)
+            completion = dispatch + served.seconds
+            for pos, member in enumerate(members):
+                results[int(member)] = served.topk[pos]
+                latencies[int(member)] = completion - arrivals[i + pos]
+            batches.append(
+                ServedBatch(
+                    indices=tuple(int(m) for m in members),
+                    dispatch_s=float(dispatch),
+                    service_s=float(served.seconds),
+                )
+            )
+            energy += served.energy_j
+            t_free = completion
+            i += size
+
+        span = float(batches[-1].completion_s - arrivals[0])
+        report = ServingReport(
+            latencies_s=latencies,
+            batches=tuple(batches),
+            span_s=span,
+            energy_j=energy,
+        )
+        return [r for r in results if r is not None], report

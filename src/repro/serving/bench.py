@@ -1,0 +1,147 @@
+"""The ``serve-bench`` workload: end-to-end serving simulation + report.
+
+Builds a synthetic embedding collection, shards it across simulated boards,
+drives a Poisson query stream through the micro-batcher and reports the
+latency distribution, throughput and a sanity recall@K against the exact
+float64 reference.  The CLI (``python -m repro serve-bench``) prints the
+rendered report and can dump the raw numbers as JSON so successive PRs can
+track the serving trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.synthetic import synthetic_embeddings
+from repro.hw.design import design_by_name
+from repro.serving.batcher import MicroBatcher, poisson_arrivals
+from repro.serving.sharded import ShardedEngine
+from repro.utils.rng import derive_rng, sample_unit_queries
+
+__all__ = ["ServeBenchConfig", "run_serve_bench"]
+
+
+@dataclass(frozen=True)
+class ServeBenchConfig:
+    """Knobs of one serve-bench run (defaults are CLI-speed friendly)."""
+
+    rows: int = 20_000
+    cols: int = 512
+    avg_nnz: int = 20
+    design: str = "20b"
+    n_shards: int = 4
+    cores_per_shard: "int | None" = None
+    n_queries: int = 256
+    top_k: int = 10
+    max_batch_size: int = 16
+    max_wait_ms: float = 2.0
+    rate_qps: "float | None" = None  # None: ~80% of one board's scan rate
+    seed: int = 0
+    recall_queries: int = 16
+    extra: dict = field(default_factory=dict)
+
+    def quick(self) -> "ServeBenchConfig":
+        """A reduced-scale copy for smoke runs."""
+        from dataclasses import replace
+
+        return replace(self, rows=4000, n_queries=64, recall_queries=8)
+
+
+def _recall_at_k(engine: ShardedEngine, queries: np.ndarray, top_k: int) -> float:
+    """Mean |served ∩ exact| / K over a query sample."""
+    served = engine.query_batch(queries, top_k)
+    hits = 0
+    for x, got in zip(queries, served.topk):
+        exact = engine.query_exact(x, top_k)
+        hits += len(set(got.indices.tolist()) & set(exact.indices.tolist()))
+    return hits / (len(queries) * top_k)
+
+
+def run_serve_bench(config: ServeBenchConfig) -> tuple[str, dict]:
+    """Run the serving simulation; returns (rendered report, JSON payload)."""
+    rng = derive_rng(config.seed)
+    matrix = synthetic_embeddings(
+        n_rows=config.rows,
+        n_cols=config.cols,
+        avg_nnz=config.avg_nnz,
+        distribution="uniform",
+        seed=config.seed,
+    )
+    engine = ShardedEngine(
+        matrix,
+        n_shards=config.n_shards,
+        design=design_by_name(config.design),
+        cores_per_shard=config.cores_per_shard,
+    )
+    queries = sample_unit_queries(rng, config.n_queries, config.cols)
+    # Built before the arrival process so batcher parameters are validated
+    # first (a zero batch size must not surface as a rate error).
+    batcher = MicroBatcher(
+        engine,
+        max_batch_size=config.max_batch_size,
+        max_wait_s=config.max_wait_ms * 1e-3,
+    )
+    rate = config.rate_qps
+    if rate is None:
+        # Offered load at ~80% of the fleet's *batch-amortised* capacity
+        # (full batches of max_batch_size, one host invocation each) so the
+        # queue stays stable but batching has something to coalesce.
+        full_batch_s = (
+            config.max_batch_size * engine.makespan_s
+            + engine.constants.host_overhead_s
+        )
+        rate = 0.8 * config.max_batch_size / full_batch_s
+    arrivals = poisson_arrivals(config.n_queries, rate, rng)
+    _, report = batcher.run(queries, arrivals, top_k=config.top_k)
+    recall = _recall_at_k(
+        engine, queries[: config.recall_queries], config.top_k
+    )
+
+    payload = {
+        "config": {
+            "rows": config.rows,
+            "cols": config.cols,
+            "avg_nnz": config.avg_nnz,
+            "design": config.design,
+            "n_shards": config.n_shards,
+            "cores_per_shard": config.cores_per_shard,
+            "n_queries": config.n_queries,
+            "top_k": config.top_k,
+            "max_batch_size": config.max_batch_size,
+            "max_wait_ms": config.max_wait_ms,
+            "offered_rate_qps": rate,
+            "seed": config.seed,
+        },
+        "report": report.to_dict(),
+        "recall_at_k": recall,
+        "fleet": {
+            "latency_ms": engine.latency_s * 1e3,
+            "power_w": engine.total_power_w,
+            "shard_makespans_ms": [
+                s.timing.makespan_s * 1e3 for s in engine.shards
+            ],
+        },
+    }
+    text = "\n".join(
+        [
+            "# serve-bench — sharded batch serving simulation",
+            "",
+            engine.describe(),
+            "",
+            f"offered load: {rate:.1f} QPS (Poisson), "
+            f"batcher: max {config.max_batch_size} / {config.max_wait_ms:.1f} ms deadline",
+            report.render(),
+            f"recall@{config.top_k} vs exact float64: {recall:.3f} "
+            f"(over {config.recall_queries} queries)",
+        ]
+    )
+    return text, payload
+
+
+def write_json(payload: dict, path: str) -> None:
+    """Dump a serve-bench payload (small helper shared with the CLI)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)

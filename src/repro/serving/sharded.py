@@ -1,0 +1,380 @@
+"""Row-sharded multi-board serving of one embedding collection.
+
+A :class:`ShardedEngine` spreads the collection's BS-CSR partition streams
+across ``N`` simulated boards ("shards").  Every query is a scatter-gather:
+all shards stream their rows concurrently, each produces per-core k-candidate
+lists (the same Algorithm 1 cores as :class:`repro.core.engine.TopKSpmvEngine`),
+and the host merges the union with
+:func:`repro.core.approx.merge_topk_candidates`.  Per-shard timing reuses the
+:mod:`repro.hw.multicore` model, so the scatter-gather latency is the slowest
+shard's makespan plus one host invocation.
+
+Two sharding modes:
+
+* **aligned** (default, ``cores_per_shard=None``) — the collection is
+  partitioned into ``design.cores`` streams exactly as the unsharded engine
+  does, and whole streams are dealt contiguously to shards.  Every core
+  worldwide sees the same rows as in the single-board setup, so the merged
+  top-k is *identical* to the unsharded engine on any matrix — sharding
+  becomes a pure capacity/deployment knob with zero accuracy impact.
+* **``cores_per_shard=c``** — each shard re-partitions its row slice across
+  its own ``c`` cores (a fleet of full boards).  Candidates come from
+  ``N*c`` finer partitions; the result is the standard partitioned
+  approximation with a larger candidate pool, and each shard's makespan
+  shrinks with its share of the rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.approx import merge_topk_candidates
+from repro.core.dataflow import (
+    DataflowStats,
+    StreamPlan,
+    plan_stream,
+    simulate_multicore,
+    simulate_multicore_batch,
+)
+from repro.core.engine import (
+    BatchResult,
+    as_csr_matrix,
+    check_query_block,
+    check_query_vector,
+)
+from repro.core.partition import partition_rows
+from repro.core.reference import TopKResult, exact_topk_spmv
+from repro.errors import ConfigurationError
+from repro.formats.bscsr import BSCSRMatrix
+from repro.hw.calibration import CALIBRATION, CalibrationConstants
+from repro.hw.design import AcceleratorDesign, PAPER_DESIGNS
+from repro.hw.hbm import ALVEO_U280_HBM, HBMConfig
+from repro.hw.multicore import AcceleratorTiming, TopKSpmvAccelerator
+from repro.hw.power import estimate_fpga_power_w
+from repro.hw.uram import ALVEO_U280_URAM, URAMSpec, check_vector_fits
+from repro.utils.validation import check_positive_int
+
+__all__ = ["EngineShard", "ShardedResult", "ShardedEngine"]
+
+
+@dataclass
+class EngineShard:
+    """One simulated board holding a contiguous slice of the collection.
+
+    ``encoded.row_offsets`` are *global* row ids, so candidate lists come out
+    of the cores already globalised and merge directly across shards.
+    """
+
+    shard_id: int
+    encoded: BSCSRMatrix
+    timing: AcceleratorTiming
+    power_w: float
+
+    def __post_init__(self) -> None:
+        self._plans: "list[StreamPlan] | None" = None
+
+    @property
+    def n_streams(self) -> int:
+        """Partition streams (active cores) on this shard."""
+        return len(self.encoded.streams)
+
+    @property
+    def nnz(self) -> int:
+        """Genuine non-zeros stored on this shard."""
+        return self.encoded.nnz
+
+    def stream_plans(self) -> "list[StreamPlan]":
+        """Per-stream batch plans, built once and cached."""
+        if self._plans is None:
+            self._plans = [plan_stream(s) for s in self.encoded.streams]
+        return self._plans
+
+
+@dataclass(frozen=True)
+class ShardedResult:
+    """One scatter-gather query across every shard."""
+
+    topk: TopKResult
+    shard_timings: "tuple[AcceleratorTiming, ...]"
+    host_overhead_s: float
+    dataflow: DataflowStats
+    power_w: float
+
+    @property
+    def latency_s(self) -> float:
+        """Slowest shard's makespan plus one host invocation."""
+        makespans = [t.makespan_s for t in self.shard_timings]
+        return (max(makespans) if makespans else 0.0) + self.host_overhead_s
+
+    @property
+    def energy_j(self) -> float:
+        """Fleet energy for the query (all boards powered for the gather)."""
+        return self.power_w * self.latency_s
+
+
+class ShardedEngine:
+    """A fleet of simulated boards row-sharding one embedding collection."""
+
+    def __init__(
+        self,
+        matrix,
+        n_shards: int,
+        design: AcceleratorDesign | None = None,
+        cores_per_shard: int | None = None,
+        hbm: HBMConfig = ALVEO_U280_HBM,
+        uram: URAMSpec = ALVEO_U280_URAM,
+        constants: CalibrationConstants = CALIBRATION,
+    ):
+        """Shard (partition + encode) a collection across ``n_shards`` boards.
+
+        Parameters
+        ----------
+        matrix:
+            The sparse embedding collection (CSRMatrix / SciPy / dense).
+        n_shards:
+            Number of boards.  In aligned mode it must not exceed
+            ``design.cores`` (each shard needs at least one stream).
+        design:
+            Accelerator design point, as for
+            :class:`repro.core.engine.TopKSpmvEngine`.
+        cores_per_shard:
+            ``None`` selects aligned mode (see module docstring); an integer
+            gives every shard its own full board with that many cores.
+        """
+        self.matrix = as_csr_matrix(matrix)
+        self.n_shards = check_positive_int(n_shards, "n_shards")
+        if design is None:
+            design = PAPER_DESIGNS["20b"]
+        if self.matrix.n_cols > design.max_columns:
+            design = replace(design, max_columns=self.matrix.n_cols)
+        self.design = design
+        self.constants = constants
+        self.cores_per_shard = (
+            None
+            if cores_per_shard is None
+            else check_positive_int(cores_per_shard, "cores_per_shard")
+        )
+
+        shard_cores = design.cores if cores_per_shard is None else cores_per_shard
+        check_vector_fits(
+            vector_size=max(1, self.matrix.n_cols),
+            cores=shard_cores,
+            lanes=design.layout.lanes,
+            x_bits=32,
+            spec=uram,
+        )
+
+        if cores_per_shard is None:
+            self.shards = self._build_aligned_shards(hbm, constants)
+        else:
+            self.shards = self._build_full_board_shards(hbm, constants)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build_aligned_shards(
+        self, hbm: HBMConfig, constants: CalibrationConstants
+    ) -> "list[EngineShard]":
+        design = self.design
+        if self.n_shards > design.cores:
+            raise ConfigurationError(
+                f"aligned mode cannot spread {design.cores} partition streams "
+                f"over {self.n_shards} shards; lower n_shards or set "
+                "cores_per_shard"
+            )
+        encoded = BSCSRMatrix.encode(
+            self.matrix,
+            layout=design.layout,
+            codec=design.codec,
+            n_partitions=design.cores,
+            rows_per_packet=design.effective_rows_per_packet,
+        )
+        shards = []
+        for shard_id, deal in enumerate(partition_rows(design.cores, self.n_shards)):
+            streams = encoded.streams[deal.start : deal.stop]
+            shard_matrix = BSCSRMatrix(
+                streams=streams,
+                row_offsets=encoded.row_offsets[deal.start : deal.stop],
+                n_rows=self.matrix.n_rows,
+                n_cols=self.matrix.n_cols,
+            )
+            accelerator = TopKSpmvAccelerator(design, hbm, constants)
+            timing = accelerator.timing_from_packets(
+                [s.n_packets for s in streams], nnz=shard_matrix.nnz
+            )
+            board = replace(design, cores=max(1, len(streams)))
+            shards.append(
+                EngineShard(
+                    shard_id=shard_id,
+                    encoded=shard_matrix,
+                    timing=timing,
+                    power_w=estimate_fpga_power_w(board, constants),
+                )
+            )
+        return shards
+
+    def _build_full_board_shards(
+        self, hbm: HBMConfig, constants: CalibrationConstants
+    ) -> "list[EngineShard]":
+        design = replace(
+            self.design,
+            name=f"{self.design.base_name} {self.cores_per_shard}C",
+            cores=self.cores_per_shard,
+        )
+        shards = []
+        for shard_id, part in enumerate(
+            partition_rows(self.matrix.n_rows, self.n_shards)
+        ):
+            local = BSCSRMatrix.encode(
+                self.matrix.row_slice(part.start, part.stop),
+                layout=design.layout,
+                codec=design.codec,
+                n_partitions=design.cores,
+                rows_per_packet=design.effective_rows_per_packet,
+            )
+            shard_matrix = BSCSRMatrix(
+                streams=local.streams,
+                row_offsets=local.row_offsets + part.start,
+                n_rows=self.matrix.n_rows,
+                n_cols=self.matrix.n_cols,
+            )
+            accelerator = TopKSpmvAccelerator(design, hbm, constants)
+            timing = accelerator.timing_from_packets(
+                [s.n_packets for s in local.streams], nnz=local.nnz
+            )
+            shards.append(
+                EngineShard(
+                    shard_id=shard_id,
+                    encoded=shard_matrix,
+                    timing=timing,
+                    power_w=estimate_fpga_power_w(design, constants),
+                )
+            )
+        return shards
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def query(self, x: np.ndarray, top_k: int) -> ShardedResult:
+        """One scatter-gather Top-K query across every shard."""
+        top_k = self._check_top_k(top_k)
+        x = self._check_query(x)
+        x_uram = self.design.quantize_query(x)
+        candidates: list[TopKResult] = []
+        totals = DataflowStats()
+        for shard in self.shards:
+            local, stats = simulate_multicore(
+                shard.encoded,
+                x_uram,
+                local_k=self.design.local_k,
+                accumulate_dtype=self.design.accumulate_dtype,
+            )
+            candidates.extend(local)
+            totals = totals.merge(stats)
+        return ShardedResult(
+            topk=merge_topk_candidates(candidates, top_k),
+            shard_timings=tuple(s.timing for s in self.shards),
+            host_overhead_s=self.constants.host_overhead_s,
+            dataflow=totals,
+            power_w=self.total_power_w,
+        )
+
+    def query_batch(self, queries: np.ndarray, top_k: int) -> BatchResult:
+        """Serve a query block: every shard runs the batched dataflow once.
+
+        Batch latency mirrors the single-board model per shard — ``Q`` times
+        the slowest shard's makespan plus one host invocation (shards scan
+        concurrently; consecutive scans overlap the host round-trip).
+        """
+        top_k = self._check_top_k(top_k)
+        queries = self._check_query_block(queries)
+        x_uram = self.design.quantize_query(queries)
+        n_queries = queries.shape[0]
+        per_query: list[list[TopKResult]] = [[] for _ in range(n_queries)]
+        totals = [DataflowStats() for _ in range(n_queries)]
+        for shard in self.shards:
+            local, stats = simulate_multicore_batch(
+                shard.encoded,
+                x_uram,
+                local_k=self.design.local_k,
+                accumulate_dtype=self.design.accumulate_dtype,
+                plans=shard.stream_plans(),
+            )
+            for q in range(n_queries):
+                per_query[q].extend(local[q])
+                totals[q] = totals[q].merge(stats[q])
+        seconds = n_queries * self.makespan_s + self.constants.host_overhead_s
+        return BatchResult(
+            topk=[merge_topk_candidates(c, top_k) for c in per_query],
+            seconds=seconds,
+            queries_per_second=n_queries / seconds if seconds else 0.0,
+            energy_j=self.total_power_w * seconds,
+            dataflow=tuple(totals),
+        )
+
+    def query_exact(self, x: np.ndarray, top_k: int) -> TopKResult:
+        """Golden float64 reference on the original (unsharded) matrix."""
+        return exact_topk_spmv(self.matrix, self._check_query(x), top_k)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def makespan_s(self) -> float:
+        """Slowest shard's stream time for one query."""
+        return max(s.timing.makespan_s for s in self.shards)
+
+    @property
+    def latency_s(self) -> float:
+        """Modelled scatter-gather latency of a single query."""
+        return self.makespan_s + self.constants.host_overhead_s
+
+    @property
+    def total_power_w(self) -> float:
+        """Fleet power: every shard board plus nothing shared."""
+        return sum(s.power_w for s in self.shards)
+
+    @property
+    def total_candidates(self) -> int:
+        """Upper bound on merged candidates: local_k per active core."""
+        return self.design.local_k * sum(s.n_streams for s in self.shards)
+
+    def describe(self) -> str:
+        """Multi-line summary of the sharded deployment."""
+        mode = (
+            "aligned streams"
+            if self.cores_per_shard is None
+            else f"{self.cores_per_shard} cores/shard"
+        )
+        lines = [
+            f"{self.n_shards} shards ({mode}) of {self.design.describe()}",
+            f"matrix: {self.matrix.n_rows} rows x {self.matrix.n_cols} cols, "
+            f"{self.matrix.nnz} non-zeros",
+        ]
+        for shard in self.shards:
+            lines.append(
+                f"  shard {shard.shard_id}: {shard.n_streams} streams, "
+                f"{shard.nnz} nnz, makespan {shard.timing.makespan_s * 1e3:.3f} ms"
+            )
+        lines.append(
+            f"scatter-gather latency: {self.latency_s * 1e3:.3f} ms, "
+            f"fleet power: {self.total_power_w:.1f} W"
+        )
+        return "\n".join(lines)
+
+    def _check_top_k(self, top_k: int) -> int:
+        top_k = check_positive_int(top_k, "top_k")
+        if top_k > self.total_candidates:
+            raise ConfigurationError(
+                f"top_k = {top_k} exceeds the fleet's {self.total_candidates} "
+                "candidates; increase local_k, cores or shards"
+            )
+        return top_k
+
+    def _check_query(self, x: np.ndarray) -> np.ndarray:
+        return check_query_vector(x, self.matrix.n_cols)
+
+    def _check_query_block(self, queries: np.ndarray) -> np.ndarray:
+        return check_query_block(queries, self.matrix.n_cols)

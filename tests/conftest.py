@@ -9,6 +9,17 @@ from repro.data.synthetic import synthetic_embeddings
 from repro.utils.rng import sample_unit_queries
 
 
+def pytest_collection_modifyitems(items):
+    """Tier the suite: property suites join the ``slow`` marker tier.
+
+    ``pytest -m "not slow"`` is the fast lane (unit + integration);
+    the plain tier-1 run still executes everything.
+    """
+    for item in items:
+        if "tests/property/" in str(item.fspath).replace("\\", "/"):
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture
 def rng():
     """A deterministic RNG for ad-hoc draws inside tests."""

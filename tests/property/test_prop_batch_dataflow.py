@@ -1,0 +1,273 @@
+"""Property suite locking the batched dataflow to the sequential path.
+
+The batched multi-query dataflow (`run_fast_batch` /
+`simulate_multicore_batch`) must be **bit-identical** per query to running
+`run_fast` / `simulate_multicore` in a loop: same candidate indices, same
+float-bit values (float32 and float64 accumulation models), same tracker
+insert order, same per-query stats.  These properties are what let the
+engine and serving layers swap the loop for the broadcast sweep without any
+accuracy caveat.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arithmetic.codecs import ExactCodec, codec_for_design
+from repro.core.dataflow import (
+    DataflowCore,
+    plan_stream,
+    simulate_multicore,
+    simulate_multicore_batch,
+)
+from repro.core.topk_tracker import TopKTracker
+from repro.formats.bscsr import BSCSRMatrix, encode_bscsr
+from repro.formats.csr import CSRMatrix
+from repro.formats.layout import solve_layout
+
+
+@st.composite
+def sparse_matrices(draw, max_rows=30, max_cols=24):
+    """Small CSR matrices; value 0 rows / spanning rows appear naturally."""
+    n_rows = draw(st.integers(0, max_rows))
+    n_cols = draw(st.integers(1, max_cols))
+    rows = []
+    for _ in range(n_rows):
+        length = draw(st.integers(0, min(n_cols, 12)))
+        cols = draw(
+            st.lists(
+                st.integers(0, n_cols - 1),
+                min_size=length, max_size=length, unique=True,
+            )
+        )
+        vals = draw(
+            st.lists(st.integers(1, 2**19 - 1), min_size=length, max_size=length)
+        )
+        rows.append(
+            (np.array(sorted(cols), dtype=np.int64),
+             np.array(vals, dtype=np.float64) / 2**19)
+        )
+    return CSRMatrix.from_rows(rows, n_cols=n_cols)
+
+
+@st.composite
+def codecs(draw):
+    kind = draw(st.sampled_from(["exact", "fixed20", "fixed25", "float32", "signed20"]))
+    if kind == "exact":
+        return ExactCodec(), 64
+    if kind == "fixed20":
+        return codec_for_design(20, "fixed"), 20
+    if kind == "fixed25":
+        return codec_for_design(25, "fixed"), 25
+    if kind == "signed20":
+        return codec_for_design(20, "signed"), 20
+    return codec_for_design(32, "float"), 32
+
+
+@st.composite
+def query_blocks(draw, n_cols):
+    n_queries = draw(st.integers(1, 5))
+    flat = draw(
+        st.lists(
+            st.floats(0.0, 1.0, allow_nan=False, width=32),
+            min_size=n_queries * n_cols, max_size=n_queries * n_cols,
+        )
+    )
+    return np.array(flat, dtype=np.float64).reshape(n_queries, n_cols)
+
+
+def assert_bitwise_equal_per_query(stream, queries, local_k, dtype):
+    """run_fast_batch vs a loop of run_fast: indices + float bits + stats."""
+    batch_core = DataflowCore(local_k, queries, dtype)
+    batch_results, batch_stats = batch_core.run_fast_batch(stream)
+    assert len(batch_results) == len(queries)
+    for q, x in enumerate(queries):
+        single_result, single_stats = DataflowCore(local_k, x, dtype).run_fast(stream)
+        assert batch_results[q].indices.tolist() == single_result.indices.tolist()
+        assert batch_results[q].values.tobytes() == single_result.values.tobytes()
+        assert batch_stats[q] == single_stats
+
+
+class TestRunFastBatchEquivalence:
+    @given(
+        matrix=sparse_matrices(),
+        codec_bits=codecs(),
+        lanes=st.integers(2, 15),
+        r=st.integers(1, 15),
+        data=st.data(),
+        dtype=st.sampled_from([np.float64, np.float32]),
+        local_k=st.integers(1, 10),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_sequential_loop(
+        self, matrix, codec_bits, lanes, r, data, dtype, local_k
+    ):
+        codec, val_bits = codec_bits
+        r = min(r, lanes)
+        layout = solve_layout(matrix.n_cols, val_bits, packet_bits=2048, lanes=lanes)
+        stream = encode_bscsr(matrix, layout, codec, rows_per_packet=r)
+        queries = data.draw(query_blocks(matrix.n_cols))
+        assert_bitwise_equal_per_query(stream, queries, local_k, dtype)
+
+    @given(
+        matrix=sparse_matrices(),
+        lanes=st.integers(2, 8),
+        data=st.data(),
+        dtype=st.sampled_from([np.float64, np.float32]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_plan_reuse_changes_nothing(self, matrix, lanes, data, dtype):
+        layout = solve_layout(matrix.n_cols, 64, packet_bits=2048, lanes=lanes)
+        stream = encode_bscsr(matrix, layout, ExactCodec(), rows_per_packet=lanes)
+        queries = data.draw(query_blocks(matrix.n_cols))
+        core = DataflowCore(4, queries, dtype)
+        fresh_results, fresh_stats = core.run_fast_batch(stream)
+        plan = plan_stream(stream)
+        planned_results, planned_stats = core.run_fast_batch(stream, plan=plan)
+        for a, b in zip(fresh_results, planned_results):
+            assert a.indices.tolist() == b.indices.tolist()
+            assert a.values.tobytes() == b.values.tobytes()
+        assert fresh_stats == planned_stats
+
+
+class TestMulticoreBatchEquivalence:
+    @given(
+        matrix=sparse_matrices(max_rows=40),
+        n_partitions=st.integers(1, 6),
+        data=st.data(),
+        dtype=st.sampled_from([np.float64, np.float32]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sequential_loop(self, matrix, n_partitions, data, dtype):
+        layout = solve_layout(matrix.n_cols, 20)
+        encoded = BSCSRMatrix.encode(
+            matrix, layout, codec_for_design(20, "fixed"),
+            n_partitions=n_partitions, rows_per_packet=5,
+        )
+        queries = data.draw(query_blocks(matrix.n_cols))
+        batch_results, batch_stats = simulate_multicore_batch(
+            encoded, queries, local_k=4, accumulate_dtype=dtype
+        )
+        for q, x in enumerate(queries):
+            seq_results, seq_stats = simulate_multicore(
+                encoded, x, local_k=4, accumulate_dtype=dtype
+            )
+            assert len(batch_results[q]) == len(seq_results)
+            for got, want in zip(batch_results[q], seq_results):
+                assert got.indices.tolist() == want.indices.tolist()
+                assert got.values.tobytes() == want.values.tobytes()
+            assert batch_stats[q] == seq_stats
+
+
+def _assert_tracker_paths_match(values, k):
+    values = np.array(values, dtype=np.float64)
+    rows = np.arange(len(values), dtype=np.int64)
+    fast = TopKTracker(k)
+    fast_accepts = fast.insert_many(rows, values)
+    slow = TopKTracker(k)
+    slow_accepts = sum(slow.insert(int(r), float(v)) for r, v in zip(rows, values))
+    assert fast_accepts == slow_accepts
+    assert fast.result().indices.tolist() == slow.result().indices.tolist()
+    assert fast.result().values.tobytes() == slow.result().values.tobytes()
+    assert fast.count == slow.count
+    assert fast.worst_value == slow.worst_value
+
+
+class TestTrackerInsertManyEquivalence:
+    """insert_many's vectorised fast path vs a plain loop of insert."""
+
+    @given(
+        values=st.lists(
+            st.floats(0.0, 1.0, allow_nan=False), min_size=0, max_size=150
+        ),
+        k=st.integers(1, 12),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_insert_loop(self, values, k):
+        _assert_tracker_paths_match(values, k)
+
+    @given(
+        values=st.lists(
+            # Heavy ties (few distinct values) stress the argmin slot logic.
+            st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+            min_size=1, max_size=100,
+        ),
+        k=st.integers(1, 8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_insert_loop_under_heavy_ties(self, values, k):
+        _assert_tracker_paths_match(values, k)
+
+    def test_partially_filled_tracker_falls_back(self):
+        # insert_many on a non-empty tracker must stay loop-identical too.
+        fast = TopKTracker(4)
+        slow = TopKTracker(4)
+        for tracker in (fast, slow):
+            tracker.insert(100, 0.5)
+            tracker.insert(101, 0.25)
+        values = np.array([0.25, 0.75, 0.1, 0.5, 0.25])
+        rows = np.arange(5)
+        fast_accepts = fast.insert_many(rows, values)
+        slow_accepts = sum(slow.insert(int(r), float(v)) for r, v in zip(rows, values))
+        assert fast_accepts == slow_accepts
+        assert fast.result().indices.tolist() == slow.result().indices.tolist()
+
+
+class TestEdgeCases:
+    def _stream(self, rows, n_cols=8, lanes=4, r=4):
+        matrix = CSRMatrix.from_rows(rows, n_cols=n_cols)
+        layout = solve_layout(n_cols, 64, packet_bits=2048, lanes=lanes)
+        return encode_bscsr(matrix, layout, ExactCodec(), rows_per_packet=r)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_empty_stream(self, dtype):
+        stream = self._stream([])
+        queries = np.linspace(0, 1, 16).reshape(2, 8)
+        assert_bitwise_equal_per_query(stream, queries, local_k=3, dtype=dtype)
+        results, stats = DataflowCore(3, queries, dtype).run_fast_batch(stream)
+        assert all(len(r) == 0 for r in results)
+        assert all(s.packets == 0 for s in stats)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_single_row(self, dtype):
+        rows = [(np.array([0, 3, 5], dtype=np.int64), np.array([0.5, 0.25, 0.125]))]
+        stream = self._stream(rows)
+        queries = np.linspace(0, 1, 24).reshape(3, 8)
+        assert_bitwise_equal_per_query(stream, queries, local_k=2, dtype=dtype)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_row_spanning_packets(self, dtype):
+        # One row of 11 nnz over 4-lane packets spans 3 packets.
+        cols = np.arange(11, dtype=np.int64)
+        rows = [
+            (cols, np.linspace(0.1, 0.9, 11)),
+            (np.array([1], dtype=np.int64), np.array([0.75])),
+        ]
+        stream = self._stream(rows, n_cols=12)
+        assert stream.n_packets >= 3
+        assert bool((~stream.new_row[1:]).any())  # genuine spanning packet
+        queries = np.linspace(0, 1, 36).reshape(3, 12)
+        assert_bitwise_equal_per_query(stream, queries, local_k=2, dtype=dtype)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_empty_rows_between_full_ones(self, dtype):
+        rows = [
+            (np.array([2], dtype=np.int64), np.array([0.5])),
+            (np.empty(0, dtype=np.int64), np.empty(0)),
+            (np.empty(0, dtype=np.int64), np.empty(0)),
+            (np.array([1, 4], dtype=np.int64), np.array([0.25, 0.5])),
+        ]
+        stream = self._stream(rows)
+        queries = np.linspace(0, 1, 16).reshape(2, 8)
+        assert_bitwise_equal_per_query(stream, queries, local_k=8, dtype=dtype)
+
+    def test_single_query_block_promotes(self):
+        rows = [(np.array([0], dtype=np.int64), np.array([0.5]))]
+        stream = self._stream(rows)
+        x = np.linspace(0, 1, 8)
+        batch_results, batch_stats = DataflowCore(2, x).run_fast_batch(stream)
+        single_result, single_stats = DataflowCore(2, x).run_fast(stream)
+        assert len(batch_results) == 1
+        assert batch_results[0].indices.tolist() == single_result.indices.tolist()
+        assert batch_stats[0] == single_stats

@@ -102,9 +102,18 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             DataflowCore(8, query, np.int32)
 
-    def test_2d_x_rejected(self):
+    def test_3d_x_rejected(self):
         with pytest.raises(ConfigurationError):
-            DataflowCore(8, np.ones((4, 4)))
+            DataflowCore(8, np.ones((2, 4, 4)))
+
+    def test_2d_x_rejected_by_single_query_paths(self, small_matrix):
+        # A (Q, n_cols) block is valid construction (for run_fast_batch) but
+        # the per-query paths must refuse it.
+        stream = _encode(small_matrix)
+        core = DataflowCore(8, np.ones((4, small_matrix.n_cols)))
+        for runner in (core.run, core.run_fast):
+            with pytest.raises(ConfigurationError):
+                runner(stream)
 
 
 class TestMulticore:

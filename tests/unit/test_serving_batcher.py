@@ -1,0 +1,142 @@
+"""Unit tests for the micro-batching request queue."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import TopKSpmvEngine
+from repro.data.synthetic import synthetic_embeddings
+from repro.errors import ConfigurationError
+from repro.hw.design import PAPER_DESIGNS
+from repro.serving.batcher import MicroBatcher, poisson_arrivals
+from repro.utils.rng import sample_unit_queries
+
+
+@pytest.fixture(scope="module")
+def engine():
+    matrix = synthetic_embeddings(
+        n_rows=2000, n_cols=256, avg_nnz=12, distribution="uniform", seed=41
+    )
+    return TopKSpmvEngine(matrix, design=PAPER_DESIGNS["20b"])
+
+
+@pytest.fixture(scope="module")
+def stream_queries():
+    return sample_unit_queries(np.random.default_rng(43), 48, 256)
+
+
+class TestBatchFormation:
+    def test_max_batch_size_honoured(self, engine, stream_queries):
+        # Everything arrives at t=0: the batcher must still cap batches.
+        batcher = MicroBatcher(engine, max_batch_size=7, max_wait_s=1e-3)
+        arrivals = np.zeros(len(stream_queries))
+        _, report = batcher.run(stream_queries, arrivals, top_k=10)
+        assert all(b.size <= 7 for b in report.batches)
+        assert sum(b.size for b in report.batches) == len(stream_queries)
+        # A flood of simultaneous arrivals fills every batch but the tail.
+        assert all(b.size == 7 for b in report.batches[:-1])
+
+    def test_deadline_honoured_when_idle(self, engine, stream_queries):
+        # Requests 10 s apart: each dispatches alone after max_wait.
+        max_wait = 1e-3
+        batcher = MicroBatcher(engine, max_batch_size=16, max_wait_s=max_wait)
+        arrivals = np.arange(8) * 10.0
+        _, report = batcher.run(stream_queries[:8], arrivals, top_k=10)
+        assert report.n_batches == 8
+        for batch, arrival in zip(report.batches, arrivals):
+            assert batch.size == 1
+            assert batch.dispatch_s == pytest.approx(arrival + max_wait)
+
+    def test_batch_fills_before_deadline(self, engine, stream_queries):
+        # 4 requests in quick succession, huge deadline: dispatch on fill.
+        batcher = MicroBatcher(engine, max_batch_size=4, max_wait_s=10.0)
+        arrivals = np.array([0.0, 0.001, 0.002, 0.003])
+        _, report = batcher.run(stream_queries[:4], arrivals, top_k=10)
+        assert report.n_batches == 1
+        assert report.batches[0].size == 4
+        assert report.batches[0].dispatch_s == pytest.approx(0.003)
+
+    def test_backlog_coalesces_while_board_busy(self, engine, stream_queries):
+        # Zero deadline still batches whatever queued while the board ran.
+        batcher = MicroBatcher(engine, max_batch_size=16, max_wait_s=0.0)
+        arrivals = np.linspace(0.0, engine.timing.makespan_s, 16)
+        _, report = batcher.run(stream_queries[:16], arrivals, top_k=10)
+        assert report.n_batches < 16
+        assert sum(b.size for b in report.batches) == 16
+
+    def test_results_in_request_order(self, engine, stream_queries):
+        batcher = MicroBatcher(engine, max_batch_size=5, max_wait_s=1e-3)
+        arrivals = np.linspace(0, 1e-3, len(stream_queries))
+        results, _ = batcher.run(stream_queries, arrivals, top_k=10)
+        for x, got in zip(stream_queries, results):
+            want = engine.query(x, top_k=10).topk
+            assert got.indices.tolist() == want.indices.tolist()
+
+    def test_unsorted_arrivals_accepted(self, engine, stream_queries):
+        batcher = MicroBatcher(engine, max_batch_size=4, max_wait_s=1e-3)
+        arrivals = np.array([3e-3, 0.0, 2e-3, 1e-3])
+        results, report = batcher.run(stream_queries[:4], arrivals, top_k=5)
+        assert len(results) == 4
+        # Request 0 (latest arrival) still gets its own correct answer.
+        want = engine.query(stream_queries[0], top_k=5).topk
+        assert results[0].indices.tolist() == want.indices.tolist()
+
+
+class TestReport:
+    def test_latency_percentiles_ordered(self, engine, stream_queries):
+        batcher = MicroBatcher(engine, max_batch_size=8, max_wait_s=2e-3)
+        arrivals = poisson_arrivals(len(stream_queries), 5000.0, rng=7)
+        _, report = batcher.run(stream_queries, arrivals, top_k=10)
+        assert report.n_queries == len(stream_queries)
+        assert 0 < report.p50_latency_s <= report.p99_latency_s
+        assert report.p99_latency_s <= report.latencies_s.max()
+        assert report.qps > 0
+        assert report.energy_j > 0
+
+    def test_every_latency_at_least_service_time(self, engine, stream_queries):
+        batcher = MicroBatcher(engine, max_batch_size=8, max_wait_s=1e-3)
+        arrivals = poisson_arrivals(len(stream_queries), 20_000.0, rng=11)
+        _, report = batcher.run(stream_queries, arrivals, top_k=10)
+        min_service = engine.timing.makespan_s
+        assert (report.latencies_s >= min_service).all()
+
+    def test_to_dict_roundtrips_key_metrics(self, engine, stream_queries):
+        batcher = MicroBatcher(engine, max_batch_size=8, max_wait_s=1e-3)
+        arrivals = np.zeros(8)
+        _, report = batcher.run(stream_queries[:8], arrivals, top_k=10)
+        payload = report.to_dict()
+        assert payload["n_queries"] == 8
+        assert payload["p50_latency_ms"] == pytest.approx(report.p50_latency_s * 1e3)
+        assert payload["batch_sizes"] == [b.size for b in report.batches]
+
+
+class TestArrivalsAndValidation:
+    def test_poisson_arrivals_shape(self):
+        arrivals = poisson_arrivals(100, 50.0, rng=3)
+        assert len(arrivals) == 100
+        assert arrivals[0] == 0.0
+        assert (np.diff(arrivals) >= 0).all()
+
+    def test_poisson_rate_sets_mean_gap(self):
+        arrivals = poisson_arrivals(4000, 100.0, rng=5)
+        mean_gap = float(np.diff(arrivals).mean())
+        assert mean_gap == pytest.approx(1 / 100.0, rel=0.1)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(10, 0.0)
+
+    def test_mismatched_arrivals_rejected(self, engine, stream_queries):
+        batcher = MicroBatcher(engine, max_batch_size=4, max_wait_s=1e-3)
+        with pytest.raises(ConfigurationError):
+            batcher.run(stream_queries, np.zeros(3), top_k=5)
+
+    def test_empty_stream_rejected(self, engine):
+        batcher = MicroBatcher(engine, max_batch_size=4, max_wait_s=1e-3)
+        with pytest.raises(ConfigurationError):
+            batcher.run(np.empty((0, 256)), np.empty(0), top_k=5)
+
+    def test_bad_batcher_params_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(engine, max_batch_size=0)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(engine, max_wait_s=-1.0)

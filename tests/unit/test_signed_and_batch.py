@@ -123,3 +123,47 @@ class TestBatchQueries:
         batch = engine.query_batch(queries, top_k=10)
         assert batch.queries_per_second == pytest.approx(len(batch) / batch.seconds)
         assert batch.energy_j > 0
+
+    def test_batch_returns_per_query_stats(self, small_matrix, queries):
+        """The batched path must not drop DataflowStats (old looped path did)."""
+        engine = TopKSpmvEngine(small_matrix, design=PAPER_DESIGNS["20b"])
+        batch = engine.query_batch(queries, top_k=10)
+        assert len(batch.dataflow) == len(queries)
+        for x, stats in zip(queries, batch.dataflow):
+            assert stats == engine.query(x, top_k=10).dataflow
+        totals = batch.dataflow_totals
+        assert totals.rows_finished == len(queries) * small_matrix.n_rows
+
+    def test_batch_validates_top_k_once(self, small_matrix, queries):
+        engine = TopKSpmvEngine(small_matrix, design=PAPER_DESIGNS["20b"])
+        with pytest.raises(ConfigurationError):
+            engine.query_batch(
+                queries, top_k=engine.design.local_k * engine.design.cores + 1
+            )
+
+    def test_batch_float32_design_bit_identical(self, small_matrix, queries):
+        engine = TopKSpmvEngine(small_matrix, design=PAPER_DESIGNS["f32"])
+        batch = engine.query_batch(queries, top_k=10)
+        for x, got in zip(queries, batch.topk):
+            single = engine.query(x, top_k=10).topk
+            assert got.indices.tolist() == single.indices.tolist()
+            assert got.values.tobytes() == single.values.tobytes()
+
+    def test_candidates_batch_matches_single(self, small_matrix, queries):
+        engine = TopKSpmvEngine(small_matrix, design=PAPER_DESIGNS["20b"])
+        all_candidates, all_stats = engine.query_candidates_batch(queries)
+        assert len(all_candidates) == len(all_stats) == len(queries)
+        for x, cands in zip(queries, all_candidates):
+            single, _ = engine.query_candidates(x)
+            assert len(cands) == len(single)
+            for got, want in zip(cands, single):
+                assert got.indices.tolist() == want.indices.tolist()
+                assert got.values.tobytes() == want.values.tobytes()
+
+    def test_stream_plans_cached(self, small_matrix, queries):
+        engine = TopKSpmvEngine(small_matrix, design=PAPER_DESIGNS["20b"])
+        assert engine._plans is None  # lazy until the first batched query
+        engine.query_batch(queries, top_k=10)
+        plans = engine.stream_plans()
+        assert plans is engine.stream_plans()
+        assert len(plans) == engine.encoded.n_partitions
