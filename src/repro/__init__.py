@@ -23,6 +23,7 @@ Quickstart
 >>> hits = engine.query(x, top_k=10).topk
 """
 
+from repro.core.collection import CompiledCollection, compile_collection
 from repro.core.engine import TopKSpmvEngine, EngineResult, BatchResult
 from repro.core.reference import TopKResult, exact_topk_spmv
 from repro.core.approx import approximate_topk_spmv
@@ -37,6 +38,8 @@ from repro.errors import ReproError
 __version__ = "1.0.0"
 
 __all__ = [
+    "CompiledCollection",
+    "compile_collection",
     "TopKSpmvEngine",
     "EngineResult",
     "BatchResult",

@@ -56,7 +56,14 @@ CPU_XEON_6248_PAIR = CpuSpec(
 class CpuTopKSpmv:
     """Functional sparse_dot_topn equivalent (exact float64 results)."""
 
-    def __init__(self, matrix: CSRMatrix):
+    def __init__(self, matrix):
+        """``matrix`` is a :class:`CSRMatrix` or a
+        :class:`~repro.core.collection.CompiledCollection` (the baseline then
+        runs on the artifact's original float64 matrix, so FPGA-vs-CPU
+        comparisons share one compiled source of truth)."""
+        from repro.core.collection import original_matrix
+
+        matrix = original_matrix(matrix)
         if not isinstance(matrix, CSRMatrix):
             raise ConfigurationError("CpuTopKSpmv expects a CSRMatrix")
         self.matrix = matrix

@@ -51,17 +51,22 @@ _BYTES_PER_NNZ = {"float32": 8, "float16": 6}  # value + 4-byte column index
 class GpuTopKSpmv:
     """Functional GPU Top-K SpMV: reduced-precision SpMV + exact sort."""
 
-    def __init__(self, matrix: CSRMatrix, precision: str = "float32"):
+    def __init__(self, matrix, precision: str = "float32"):
         """
         Parameters
         ----------
         matrix:
-            The embedding collection.
+            The embedding collection: a :class:`CSRMatrix` or a
+            :class:`~repro.core.collection.CompiledCollection` (the
+            baseline then runs on the artifact's original float64 matrix).
         precision:
             ``"float32"`` or ``"float16"`` — storage precision of matrix
             values and of the dense vector, as in the paper's two GPU
             configurations.  Accumulation is float32 in both cases.
         """
+        from repro.core.collection import original_matrix
+
+        matrix = original_matrix(matrix)
         check_one_of(precision, "precision", tuple(_BYTES_PER_NNZ))
         self.precision = precision
         fmt = FLOAT16 if precision == "float16" else FLOAT32

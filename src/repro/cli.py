@@ -7,6 +7,16 @@ Usage::
     python -m repro all -o EXPERIMENTS_RUN.md
     python -m repro figure7 --quick   # reduced scale for a fast look
     python -m repro serve-bench --shards 4 --batch-size 16 --json serve.json
+
+Build/serve split (the production workflow)::
+
+    python -m repro compile synthetic out.npz --rows 50000 --design 20b
+    python -m repro compile glove glove.npz --rows 20000
+    python -m repro serve-bench --collection out.npz --shards 4
+
+``compile`` runs the one-time build pipeline (partition + quantise + BS-CSR
+encode) and persists the artifact; ``serve-bench --collection`` restarts a
+serving fleet from it without re-encoding anything.
 """
 
 from __future__ import annotations
@@ -31,9 +41,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["all", "serve-bench"],
+        choices=sorted(ALL_EXPERIMENTS) + ["all", "serve-bench", "compile"],
         help="which experiment to regenerate (serve-bench runs the sharded "
-        "batch serving simulation instead of a paper artifact)",
+        "batch serving simulation; compile builds and saves a servable "
+        "collection artifact instead of a paper artifact)",
+    )
+    parser.add_argument(
+        "rest",
+        nargs="*",
+        metavar="ARG",
+        help="for compile: <dataset> <out.npz> where dataset is "
+        "'synthetic' or 'glove'",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -89,6 +107,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=str, default=None, metavar="PATH",
         help="also dump the serve-bench numbers as JSON",
     )
+    serving.add_argument(
+        "--collection", type=str, default=None, metavar="PATH",
+        help="serve a compiled collection artifact (output of "
+        "'repro compile') instead of building a synthetic one; "
+        "--rows/--design are then taken from the artifact (aligned mode "
+        "serves its buffers as-is; --cores-per-shard re-encodes per shard)",
+    )
+    dataset_group = parser.add_argument_group(
+        "dataset options (compile and serve-bench)"
+    )
+    dataset_group.add_argument(
+        "--cols", type=int, default=512,
+        help="embedding dimension of the built dataset (default 512)",
+    )
+    dataset_group.add_argument(
+        "--avg-nnz", type=int, default=20,
+        help="average non-zeros per row of the built dataset (default 20)",
+    )
     return parser
 
 
@@ -97,6 +133,8 @@ def _serve_bench_config(args: argparse.Namespace) -> "ServeBenchConfig":
 
     config = ServeBenchConfig(
         design=args.design,
+        cols=args.cols,
+        avg_nnz=args.avg_nnz,
         n_shards=args.shards,
         cores_per_shard=args.cores_per_shard,
         n_queries=args.n_queries,
@@ -104,6 +142,7 @@ def _serve_bench_config(args: argparse.Namespace) -> "ServeBenchConfig":
         max_wait_ms=args.max_wait_ms,
         rate_qps=args.rate_qps,
         seed=args.seed if args.seed is not None else 0,
+        collection=args.collection,
     )
     if args.quick:
         config = config.quick()
@@ -137,6 +176,51 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_compile(args: argparse.Namespace) -> int:
+    from repro.core.collection import compile_collection
+    from repro.hw.design import design_by_name
+
+    if len(args.rest) != 2:
+        raise SystemExit(
+            "usage: repro compile <dataset> <out.npz>  "
+            "(dataset: 'synthetic' or 'glove')"
+        )
+    dataset, out_path = args.rest
+    rows = args.rows if args.rows is not None else 20_000
+    seed = args.seed if args.seed is not None else 0
+    started = time.perf_counter()
+    if dataset == "synthetic":
+        from repro.data.synthetic import synthetic_embeddings
+
+        matrix = synthetic_embeddings(
+            n_rows=rows, n_cols=args.cols, avg_nnz=args.avg_nnz,
+            distribution="uniform", seed=seed,
+        )
+    elif dataset == "glove":
+        from repro.data.glove import sparsified_glove_embeddings
+
+        if args.cols < 2 * args.avg_nnz:
+            raise SystemExit(
+                f"glove needs --cols >= 2*avg-nnz ({2 * args.avg_nnz}) so the "
+                "sparse dictionary has enough atoms; got --cols "
+                f"{args.cols} with --avg-nnz {args.avg_nnz}"
+            )
+        matrix = sparsified_glove_embeddings(
+            n_rows=rows, n_cols=args.cols, avg_nnz=args.avg_nnz, seed=seed,
+        )
+    else:
+        raise SystemExit(
+            f"unknown compile dataset {dataset!r}; expected 'synthetic' or 'glove'"
+        )
+    collection = compile_collection(matrix, design_by_name(args.design))
+    collection.save(out_path)
+    elapsed = time.perf_counter() - started
+    print(collection.describe())
+    print(f"wrote {out_path}", file=sys.stderr)
+    print(f"[compile completed in {elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
 def _make_config(args: argparse.Namespace) -> ExperimentConfig:
     if args.quick:
         config = ExperimentConfig.quick()
@@ -161,6 +245,13 @@ def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.quick and args.paper_scale:
         raise SystemExit("--quick and --paper-scale are mutually exclusive")
+    if args.experiment == "compile":
+        return _run_compile(args)
+    if args.rest:
+        raise SystemExit(
+            f"unexpected positional arguments {args.rest}; only 'compile' "
+            "takes extra arguments"
+        )
     if args.experiment == "serve-bench":
         return _run_serve_bench(args)
     config = _make_config(args)

@@ -14,6 +14,9 @@ Modules
     Expected-precision theory + Monte Carlo estimation (Eq. 1, Table I).
 ``dataflow``
     Functional simulation of Algorithm 1 over BS-CSR packet streams.
+``collection``
+    The compiled query-independent artifact: one build pipeline producing
+    partition streams, stream plans and a persistable ``.npz`` container.
 ``engine``
     High-level public API tying formats, cores and hardware models together.
 """
@@ -29,6 +32,7 @@ from repro.core.precision_model import (
     MonteCarloEstimate,
 )
 from repro.core.dataflow import DataflowCore, simulate_dataflow
+from repro.core.collection import CompiledCollection, compile_collection
 from repro.core.engine import TopKSpmvEngine, EngineResult, BatchResult
 from repro.core.adaptive import WorkloadProfile, DesignChoice, select_design
 
@@ -48,6 +52,8 @@ __all__ = [
     "MonteCarloEstimate",
     "DataflowCore",
     "simulate_dataflow",
+    "CompiledCollection",
+    "compile_collection",
     "TopKSpmvEngine",
     "EngineResult",
     "BatchResult",

@@ -1,0 +1,378 @@
+"""The compiled, query-independent half of the accelerator: one build pipeline.
+
+The paper separates a one-time preprocessing phase — row partitioning across
+HBM channels plus BS-CSR packing (Sections III-A/III-B) — from the streaming
+query phase.  :class:`CompiledCollection` makes that split explicit in the
+reproduction: it owns *everything* that does not depend on the query —
+
+* the original float64 collection (kept for exact references and baselines);
+* the resolved :class:`~repro.hw.design.AcceleratorDesign` (the layout/codec
+  the values were quantised with);
+* the per-partition BS-CSR streams as structure-of-arrays numpy buffers;
+* the lazily-built per-partition :class:`~repro.core.dataflow.StreamPlan`
+  cache shared by every consumer (single-board engine, sharded fleet);
+* a SHA-256 content digest identifying the artifact.
+
+One shared pipeline (:func:`compile_collection`) builds it; every downstream
+layer — :class:`~repro.core.engine.TopKSpmvEngine`,
+:class:`~repro.serving.sharded.ShardedEngine`, the baselines, the CLI —
+constructs *from* it instead of re-running partition/encode/plan logic.
+
+``save``/``load`` persist the artifact as one uncompressed ``.npz`` with a
+JSON header (see :func:`repro.formats.io.save_artifact`).  Loading performs
+no encoding: the stacked packet buffers come back verbatim and per-partition
+streams are plain row slices (views) of them, so a serving process restarts
+in I/O time rather than re-encode time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, replace
+
+import numpy as np
+
+from repro.core.dataflow import StreamPlan, plan_stream
+from repro.errors import ConfigurationError, FormatError
+from repro.formats.bscsr import BSCSRMatrix, BSCSRStream
+from repro.formats.csr import CSRMatrix
+from repro.formats.io import artifact_digest, load_artifact, save_artifact
+from repro.hw.design import AcceleratorDesign, PAPER_DESIGNS
+
+__all__ = [
+    "CompiledCollection",
+    "compile_collection",
+    "resolve_design",
+    "original_matrix",
+]
+
+#: Artifact ``kind`` tag in the persisted header.
+COLLECTION_KIND = "compiled-collection"
+
+
+def check_design_compatible(collection: "CompiledCollection", design, action: str) -> None:
+    """Raise unless ``design`` matches what ``collection`` was compiled for.
+
+    ``None`` always passes (the artifact's own design is used).  Comparison
+    happens post-resolution: the artifact stores the auto-widened design, so
+    re-passing the design it was compiled with is not a conflict.
+    """
+    if design is not None and resolve_design(collection.matrix, design) != collection.design:
+        raise ConfigurationError(
+            f"collection was compiled for {collection.design.name!r}; "
+            f"cannot {action} it as {design.name!r} — recompile instead"
+        )
+
+
+def original_matrix(matrix):
+    """Unwrap a :class:`CompiledCollection` to its original float64 matrix.
+
+    Anything else passes through unchanged.  Consumers that only need the
+    unencoded collection (CPU/GPU baselines, exact references) use this so
+    they accept the same compiled artifact the accelerator engines serve.
+    """
+    if isinstance(matrix, CompiledCollection):
+        return matrix.matrix
+    return matrix
+
+
+def resolve_design(matrix: CSRMatrix, design: "AcceleratorDesign | None") -> AcceleratorDesign:
+    """The design actually compiled against: default 20b, widened to fit M.
+
+    If the matrix is wider than the design's ``max_columns``, the packet
+    layout is re-solved for the real width (fewer lanes per packet) — the
+    same rule every engine applied individually before this pipeline existed.
+    """
+    if design is None:
+        design = PAPER_DESIGNS["20b"]
+    if matrix.n_cols > design.max_columns:
+        design = replace(design, max_columns=matrix.n_cols)
+    return design
+
+
+def compile_collection(
+    matrix,
+    design: "AcceleratorDesign | None" = None,
+    n_partitions: "int | None" = None,
+) -> "CompiledCollection":
+    """Partition + quantise + encode a collection: the one build pipeline.
+
+    Parameters
+    ----------
+    matrix:
+        The sparse embedding collection; any of
+        :class:`~repro.formats.csr.CSRMatrix`, SciPy sparse, dense array.
+    design:
+        Accelerator design point; defaults to the paper's best (20-bit fixed
+        point, 32 cores).  Widened automatically when the matrix is wider
+        than ``design.max_columns``.
+    n_partitions:
+        Stream count override; defaults to ``design.cores`` (one stream per
+        core / HBM channel).
+    """
+    from repro.core.engine import as_csr_matrix  # deferred: engine imports us
+
+    matrix = as_csr_matrix(matrix)
+    design = resolve_design(matrix, design)
+    encoded = BSCSRMatrix.encode(
+        matrix,
+        layout=design.layout,
+        codec=design.codec,
+        n_partitions=design.cores if n_partitions is None else n_partitions,
+        rows_per_packet=design.effective_rows_per_packet,
+    )
+    return CompiledCollection(matrix=matrix, design=design, encoded=encoded)
+
+
+class CompiledCollection:
+    """One compiled, servable embedding collection (see module docstring).
+
+    Construct via :func:`compile_collection` or :meth:`load`; the raw
+    constructor only wires pre-built parts together.
+    """
+
+    def __init__(
+        self,
+        matrix: CSRMatrix,
+        design: AcceleratorDesign,
+        encoded: BSCSRMatrix,
+    ):
+        if encoded.n_rows != matrix.n_rows or encoded.n_cols != matrix.n_cols:
+            raise ConfigurationError(
+                f"encoded shape ({encoded.n_rows}, {encoded.n_cols}) disagrees "
+                f"with matrix shape {matrix.shape}"
+            )
+        self.matrix = matrix
+        self.design = design
+        self.encoded = encoded
+        self._plans: "list[StreamPlan | None]" = [None] * encoded.n_partitions
+        self._plans_all: "list[StreamPlan] | None" = None
+
+    # ------------------------------------------------------------------ #
+    # Shape and size
+    # ------------------------------------------------------------------ #
+    @property
+    def n_rows(self) -> int:
+        """Collection size N."""
+        return self.matrix.n_rows
+
+    @property
+    def n_cols(self) -> int:
+        """Embedding dimension M."""
+        return self.matrix.n_cols
+
+    @property
+    def nnz(self) -> int:
+        """Genuine non-zeros stored across all partitions."""
+        return self.encoded.nnz
+
+    @property
+    def n_partitions(self) -> int:
+        """Partition streams (= cores = HBM channels on one board)."""
+        return self.encoded.n_partitions
+
+    def describe(self) -> str:
+        """Multi-line summary of the compiled artifact."""
+        return "\n".join(
+            [
+                self.design.describe(),
+                f"matrix: {self.n_rows} rows x {self.n_cols} cols, "
+                f"{self.nnz} non-zeros",
+                f"BS-CSR: {self.encoded.total_packets} packets, "
+                f"{self.encoded.total_bytes / 1e6:.2f} MB across "
+                f"{self.n_partitions} channels",
+                f"digest: {self.digest[:16]}…",
+            ]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Stream plans — the single lazy cache every consumer shares
+    # ------------------------------------------------------------------ #
+    def stream_plans(self) -> "list[StreamPlan]":
+        """All per-partition batch plans (built on first use, then cached)."""
+        if self._plans_all is None:
+            self._plans_all = self.stream_plans_range(0, self.n_partitions)
+        return self._plans_all
+
+    def stream_plans_range(self, start: int, stop: int) -> "list[StreamPlan]":
+        """Plans for partitions ``[start, stop)``, sharing the same cache.
+
+        A sharded deployment only ever pays for the plans its shards
+        actually stream — and a shard slicing this collection reuses any
+        plan another consumer already built.
+        """
+        if not 0 <= start <= stop <= self.n_partitions:
+            raise ConfigurationError(
+                f"invalid partition range [{start}, {stop}) for "
+                f"{self.n_partitions} partitions"
+            )
+        for i in range(start, stop):
+            if self._plans[i] is None:
+                self._plans[i] = plan_stream(self.encoded.streams[i])
+        return self._plans[start:stop]
+
+    def stream_slice(self, start: int, stop: int) -> BSCSRMatrix:
+        """Partitions ``[start, stop)`` as a BSCSRMatrix sharing this
+        collection's stream buffers (no re-encode, no copies).
+
+        ``row_offsets`` stay global, so candidates produced from the slice
+        merge directly with other slices' — the aligned-sharding contract.
+        """
+        if not 0 <= start <= stop <= self.n_partitions:
+            raise ConfigurationError(
+                f"invalid partition range [{start}, {stop}) for "
+                f"{self.n_partitions} partitions"
+            )
+        return BSCSRMatrix(
+            streams=self.encoded.streams[start:stop],
+            row_offsets=self.encoded.row_offsets[start:stop],
+            n_rows=self.encoded.n_rows,
+            n_cols=self.encoded.n_cols,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    @property
+    def digest(self) -> str:
+        """SHA-256 content digest over every persisted buffer (cached)."""
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            cached = self._digest = artifact_digest(self._payload_arrays())
+        return cached
+
+    def _payload_arrays(self) -> "dict[str, np.ndarray]":
+        streams = self.encoded.streams
+        lanes = self.design.layout.lanes
+        if streams:
+            new_row = np.concatenate([s.new_row for s in streams])
+            ptr = np.concatenate([s.ptr for s in streams])
+            idx = np.concatenate([s.idx for s in streams])
+            val_raw = np.concatenate([s.val_raw for s in streams])
+        else:
+            new_row = np.zeros(0, dtype=bool)
+            ptr = np.zeros((0, lanes), dtype=np.uint16)
+            idx = np.zeros((0, lanes), dtype=np.int64)
+            val_raw = np.zeros((0, lanes), dtype=np.uint64)
+        packet_offsets = np.concatenate(
+            [[0], np.cumsum([s.n_packets for s in streams], dtype=np.int64)]
+        ).astype(np.int64)
+        return {
+            "matrix_indptr": self.matrix.indptr,
+            "matrix_indices": self.matrix.indices,
+            "matrix_data": self.matrix.data,
+            "row_offsets": np.asarray(self.encoded.row_offsets, dtype=np.int64),
+            "packet_offsets": packet_offsets,
+            "part_n_rows": np.array([s.n_rows for s in streams], dtype=np.int64),
+            "part_nnz": np.array([s.nnz for s in streams], dtype=np.int64),
+            "new_row": new_row,
+            "ptr": ptr,
+            "idx": idx,
+            "val_raw": val_raw,
+        }
+
+    def _header(self) -> dict:
+        design_fields = asdict(self.design)
+        return {
+            "design": design_fields,
+            "codec": self.design.codec.name,
+            "layout": {
+                "lanes": self.design.layout.lanes,
+                "ptr_bits": self.design.layout.ptr_bits,
+                "idx_bits": self.design.layout.idx_bits,
+                "val_bits": self.design.layout.val_bits,
+                "packet_bits": self.design.layout.packet_bits,
+            },
+            "rows_per_packet": self.design.effective_rows_per_packet,
+            "n_rows": self.n_rows,
+            "n_cols": self.n_cols,
+            "nnz": self.nnz,
+            "n_partitions": self.n_partitions,
+        }
+
+    def save(self, path) -> None:
+        """Persist the whole artifact as one ``.npz`` with a JSON header.
+
+        The file lands at exactly ``path`` (no ``.npz`` suffix is appended).
+        """
+        self._digest = save_artifact(
+            path, COLLECTION_KIND, self._header(), self._payload_arrays()
+        )
+
+    @classmethod
+    def load(cls, path, verify: bool = True) -> "CompiledCollection":
+        """Reload an artifact saved by :meth:`save` — no re-encode.
+
+        Per-partition streams are row slices (numpy views) of the stacked
+        packet buffers exactly as stored; the build pipeline is never
+        invoked.  ``verify`` (default) re-derives the content digest and
+        raises :class:`~repro.errors.FormatError` on mismatch.
+        """
+        header, arrays = load_artifact(path, COLLECTION_KIND, verify=verify)
+        try:
+            return cls._from_payload(path, header, arrays)
+        except (KeyError, TypeError) as exc:
+            raise FormatError(
+                f"{path} has an incomplete collection header or buffer set"
+            ) from exc
+
+    @classmethod
+    def _from_payload(cls, path, header: dict, arrays: "dict[str, np.ndarray]") -> "CompiledCollection":
+        design = AcceleratorDesign(**header["design"])
+        layout_fields = header["layout"]
+        codec_name = header["codec"]
+        n_partitions = int(header["n_partitions"])
+        if design.codec.name != codec_name:
+            raise FormatError(
+                f"{path}: header codec {codec_name!r} disagrees with the "
+                f"design's codec {design.codec.name!r}"
+            )
+        actual_layout = {
+            "lanes": design.layout.lanes,
+            "ptr_bits": design.layout.ptr_bits,
+            "idx_bits": design.layout.idx_bits,
+            "val_bits": design.layout.val_bits,
+            "packet_bits": design.layout.packet_bits,
+        }
+        if actual_layout != layout_fields:
+            raise FormatError(
+                f"{path}: header layout {layout_fields} disagrees with the "
+                f"design's layout {actual_layout}"
+            )
+        matrix = CSRMatrix(
+            indptr=arrays["matrix_indptr"],
+            indices=arrays["matrix_indices"],
+            data=arrays["matrix_data"],
+            n_cols=int(header["n_cols"]),
+        )
+        offsets = arrays["packet_offsets"]
+        if len(offsets) != n_partitions + 1:
+            raise FormatError(
+                f"{path}: {len(offsets)} packet offsets for "
+                f"{n_partitions} partitions"
+            )
+        streams = []
+        for i in range(n_partitions):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            streams.append(
+                BSCSRStream(
+                    layout=design.layout,
+                    codec=design.codec,
+                    n_rows=int(arrays["part_n_rows"][i]),
+                    n_cols=matrix.n_cols,
+                    nnz=int(arrays["part_nnz"][i]),
+                    new_row=arrays["new_row"][lo:hi],
+                    ptr=arrays["ptr"][lo:hi],
+                    idx=arrays["idx"][lo:hi],
+                    val_raw=arrays["val_raw"][lo:hi],
+                    rows_per_packet=int(header["rows_per_packet"]),
+                )
+            )
+        encoded = BSCSRMatrix(
+            streams=streams,
+            row_offsets=arrays["row_offsets"],
+            n_rows=matrix.n_rows,
+            n_cols=matrix.n_cols,
+        )
+        collection = cls(matrix=matrix, design=design, encoded=encoded)
+        collection._digest = header["digest"]
+        return collection

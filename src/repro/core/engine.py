@@ -38,7 +38,7 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -46,7 +46,6 @@ from repro.core.approx import merge_topk_candidates
 from repro.core.dataflow import (
     DataflowStats,
     StreamPlan,
-    plan_stream,
     simulate_multicore,
     simulate_multicore_batch,
 )
@@ -55,7 +54,7 @@ from repro.errors import ConfigurationError
 from repro.formats.bscsr import BSCSRMatrix
 from repro.formats.csr import CSRMatrix
 from repro.hw.calibration import CALIBRATION, CalibrationConstants
-from repro.hw.design import AcceleratorDesign, PAPER_DESIGNS
+from repro.hw.design import AcceleratorDesign
 from repro.hw.hbm import ALVEO_U280_HBM, HBMConfig
 from repro.hw.multicore import AcceleratorTiming, TopKSpmvAccelerator
 from repro.hw.power import estimate_fpga_power_w
@@ -169,49 +168,89 @@ class TopKSpmvEngine:
         uram: URAMSpec = ALVEO_U280_URAM,
         constants: CalibrationConstants = CALIBRATION,
     ):
-        """Load (partition + encode) an embedding collection.
+        """Attach a board to a collection, compiling it if necessary.
 
         Parameters
         ----------
         matrix:
-            The sparse embedding collection; any of
-            :class:`repro.formats.csr.CSRMatrix`, SciPy sparse, dense array.
+            Either an already-compiled
+            :class:`~repro.core.collection.CompiledCollection` (its encoded
+            streams and plans are reused verbatim — nothing is rebuilt), or
+            the raw sparse embedding collection
+            (:class:`repro.formats.csr.CSRMatrix`, SciPy sparse, dense
+            array), which is run through
+            :func:`~repro.core.collection.compile_collection` first.
         design:
             Accelerator design point; defaults to the paper's best (20-bit
             fixed point, 32 cores).  If the matrix is wider than the
             design's ``max_columns``, the layout is re-solved for the real
-            width (fewer lanes per packet).
+            width (fewer lanes per packet).  Must be omitted (or equal)
+            when a compiled collection is passed — the artifact already
+            fixes the design it was quantised with.
         hbm, uram, constants:
             Board models; defaults model the Alveo U280.
         """
-        self.matrix = as_csr_matrix(matrix)
-        if design is None:
-            design = PAPER_DESIGNS["20b"]
-        if self.matrix.n_cols > design.max_columns:
-            design = replace(design, max_columns=self.matrix.n_cols)
-        self.design = design
+        from repro.core.collection import (
+            CompiledCollection,
+            check_design_compatible,
+            compile_collection,
+            resolve_design,
+        )
+
+        collection = None
+        if isinstance(matrix, CompiledCollection):
+            check_design_compatible(matrix, design, "serve")
+            collection = matrix
+            csr = matrix.matrix
+            design = matrix.design
+        else:
+            csr = as_csr_matrix(matrix)
+            design = resolve_design(csr, design)
         self.constants = constants
+        # Validate the board can hold the query vector *before* paying for
+        # the (potentially long) build.
         check_vector_fits(
-            vector_size=max(1, self.matrix.n_cols),
+            vector_size=max(1, csr.n_cols),
             cores=design.cores,
             lanes=design.layout.lanes,
             x_bits=32,
             spec=uram,
         )
-        self.encoded = BSCSRMatrix.encode(
-            self.matrix,
-            layout=design.layout,
-            codec=design.codec,
-            n_partitions=design.cores,
-            rows_per_packet=design.effective_rows_per_packet,
+        self.collection = (
+            collection if collection is not None else compile_collection(csr, design)
         )
         self.accelerator = TopKSpmvAccelerator(design, hbm, constants)
         # Timing depends only on the stream shape, not the query: cache it.
         self._timing = self.accelerator.timing_from_matrix(self.encoded)
         self._power_w = estimate_fpga_power_w(design, constants)
-        # Per-stream batch plans are query-independent too, but lazily built:
-        # single-query workloads never pay for them.
-        self._plans: "list[StreamPlan] | None" = None
+
+    @classmethod
+    def from_collection(
+        cls,
+        collection,
+        hbm: HBMConfig = ALVEO_U280_HBM,
+        uram: URAMSpec = ALVEO_U280_URAM,
+        constants: CalibrationConstants = CALIBRATION,
+    ) -> "TopKSpmvEngine":
+        """Serve a pre-compiled (or loaded) collection on a simulated board."""
+        return cls(collection, hbm=hbm, uram=uram, constants=constants)
+
+    # The query-independent state lives on the compiled artifact; the engine
+    # only adds the board (timing + power) on top.
+    @property
+    def matrix(self) -> CSRMatrix:
+        """The original float64 collection."""
+        return self.collection.matrix
+
+    @property
+    def design(self) -> AcceleratorDesign:
+        """The design the collection was compiled for."""
+        return self.collection.design
+
+    @property
+    def encoded(self) -> BSCSRMatrix:
+        """The partitioned BS-CSR streams."""
+        return self.collection.encoded
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -343,10 +382,8 @@ class TopKSpmvEngine:
         return "\n".join(lines)
 
     def stream_plans(self) -> "list[StreamPlan]":
-        """Per-partition batch plans (built on first use, then cached)."""
-        if self._plans is None:
-            self._plans = [plan_stream(s) for s in self.encoded.streams]
-        return self._plans
+        """Per-partition batch plans (the collection's shared lazy cache)."""
+        return self.collection.stream_plans()
 
     def _check_query(self, x: np.ndarray) -> np.ndarray:
         return check_query_vector(x, self.matrix.n_cols)

@@ -20,6 +20,7 @@ from repro.formats.bscsr import (
     BSCSRMatrix,
     BSCSRStream,
     encode_bscsr,
+    encode_bscsr_reference,
     decode_to_coo,
     decode_to_csr,
     lane_row_ids,
@@ -41,6 +42,9 @@ from repro.formats.io import (
     load_bscsr_matrix,
     save_wire,
     load_wire,
+    save_artifact,
+    load_artifact,
+    artifact_digest,
 )
 
 __all__ = [
@@ -54,6 +58,7 @@ __all__ = [
     "BSCSRMatrix",
     "BSCSRStream",
     "encode_bscsr",
+    "encode_bscsr_reference",
     "decode_to_coo",
     "decode_to_csr",
     "lane_row_ids",
@@ -74,4 +79,7 @@ __all__ = [
     "load_bscsr_matrix",
     "save_wire",
     "load_wire",
+    "save_artifact",
+    "load_artifact",
+    "artifact_digest",
 ]

@@ -42,6 +42,7 @@ __all__ = [
     "BSCSRStream",
     "BSCSRMatrix",
     "encode_bscsr",
+    "encode_bscsr_reference",
     "decode_to_coo",
     "decode_to_csr",
     "lane_row_ids",
@@ -217,13 +218,96 @@ class BSCSRStream:
         return stream
 
 
+def _check_encode_args(
+    matrix: CSRMatrix, layout: PacketLayout, rows_per_packet: int | None
+) -> int:
+    """Shared argument validation for both encoder implementations."""
+    if matrix.n_cols > 0 and index_field_bits(matrix.n_cols) > layout.idx_bits:
+        raise ConfigurationError(
+            f"layout idx field ({layout.idx_bits} bits) cannot index "
+            f"{matrix.n_cols} columns"
+        )
+    lanes = layout.lanes
+    if rows_per_packet is None:
+        rows_per_packet = lanes
+    if not 1 <= rows_per_packet <= lanes:
+        raise ConfigurationError(
+            f"rows_per_packet must be in [1, {lanes}], got {rows_per_packet}"
+        )
+    return rows_per_packet
+
+
+def _lane_starts(eff: np.ndarray, lanes: int, budget: int) -> np.ndarray:
+    """Global lane position at which each row's content starts.
+
+    ``eff`` holds every row's occupied lane count (1 for empty rows — the
+    placeholder lane).  Positions include early-close padding: when a row
+    would *end* inside a packet that already has ``budget`` row endings, the
+    encoder closes that packet (the tail lanes become padding) and the row
+    restarts at the next packet boundary.
+
+    Fast path: with no padding anywhere, starts are a plain exclusive cumsum.
+    The first packet a row touches is the only one where the budget can bind
+    (later packets it spills into start with zero endings), so the event
+    test is vectorised: ``nb(j)`` — how many earlier rows end in row ``j``'s
+    starting packet — falls out of one ``searchsorted`` over the
+    non-decreasing ending-packet ids.  Everything before the first event is
+    exact; an exact scalar scan finishes the (rare) remainder.
+    """
+    ends = np.cumsum(eff)
+    starts = ends - eff
+    n = len(eff)
+    if budget >= lanes:
+        # A packet ending (>= 1 lane each) can never reach `lanes` endings
+        # while lanes remain for another row to end in: the budget is inert.
+        return starts
+
+    end_packet = (ends - 1) // lanes
+    start_packet = starts // lanes
+    fill = starts - start_packet * lanes
+    nb = np.arange(n) - np.searchsorted(end_packet, start_packet)
+    event = (fill > 0) & (nb >= budget) & (eff <= lanes - fill)
+    if not event.any():
+        return starts
+
+    # Exact continuation from the first early close: positions before it are
+    # untouched, positions after shift by the padding inserted along the way.
+    first = int(np.argmax(event))
+    pos = int(starts[first])
+    count = int(nb[first])
+    eff_list = eff.tolist()
+    for j in range(first, n):
+        length = eff_list[j]
+        fill_j = pos % lanes
+        if fill_j and count == budget and length <= lanes - fill_j:
+            pos += lanes - fill_j  # close the packet early; tail is padding
+            count = 0
+        starts[j] = pos
+        end = pos + length
+        if end % lanes == 0:
+            count = 0  # the ending lands on the boundary; next packet is fresh
+        elif (end - 1) // lanes == pos // lanes:
+            count += 1  # ended in the packet it started in
+        else:
+            count = 1  # spilled into a new packet; its only ending so far
+        pos = end
+    return starts
+
+
 def encode_bscsr(
     matrix: CSRMatrix,
     layout: PacketLayout,
     codec: ValueCodec,
     rows_per_packet: int | None = None,
 ) -> BSCSRStream:
-    """Encode a CSR matrix into a BS-CSR packet stream.
+    """Encode a CSR matrix into a BS-CSR packet stream (vectorised).
+
+    Bit-identical to :func:`encode_bscsr_reference` (the original per-packet
+    greedy loop, asserted by the encoder-equivalence property suite) but
+    built from whole-array segment ops: row lane positions are one cumsum
+    (plus a rare exact fixup for early-closed packets), ``ptr``/``idx``/
+    ``val`` are scatters into the flat lane stream, and ``new_row`` is a
+    boundary-coverage cumsum.
 
     Parameters
     ----------
@@ -237,18 +321,88 @@ def encode_bscsr(
         The hardware's ``r`` limit on rows ending per packet; defaults to
         ``layout.lanes`` (no constraint beyond lane count).
     """
-    if matrix.n_cols > 0 and index_field_bits(matrix.n_cols) > layout.idx_bits:
-        raise ConfigurationError(
-            f"layout idx field ({layout.idx_bits} bits) cannot index "
-            f"{matrix.n_cols} columns"
-        )
+    rows_per_packet = _check_encode_args(matrix, layout, rows_per_packet)
     lanes = layout.lanes
-    if rows_per_packet is None:
-        rows_per_packet = lanes
-    if not 1 <= rows_per_packet <= lanes:
-        raise ConfigurationError(
-            f"rows_per_packet must be in [1, {lanes}], got {rows_per_packet}"
+    pad_code = np.uint64(codec.encode(np.zeros(1))[0])
+    n_rows = matrix.n_rows
+
+    if n_rows == 0:
+        return BSCSRStream(
+            layout=layout,
+            codec=codec,
+            n_rows=0,
+            n_cols=matrix.n_cols,
+            nnz=0,
+            new_row=np.zeros(0, dtype=bool),
+            ptr=np.zeros((0, lanes), dtype=np.uint16),
+            idx=np.zeros((0, lanes), dtype=np.int64),
+            val_raw=np.zeros((0, lanes), dtype=np.uint64),
+            rows_per_packet=rows_per_packet,
         )
+
+    lengths = np.diff(matrix.indptr)
+    eff = np.where(lengths == 0, 1, lengths)  # empty rows hold one placeholder
+    starts = _lane_starts(eff, lanes, rows_per_packet)
+    ends = starts + eff
+    n_packets = -(-int(ends[-1]) // lanes)
+
+    # One row ending per ptr slot, in row order within each packet.
+    last_lane = ends - 1
+    end_packet = last_lane // lanes
+    rank = np.arange(n_rows) - np.searchsorted(end_packet, end_packet)
+    ptr = np.zeros((n_packets, lanes), dtype=np.uint16)
+    ptr[end_packet, rank] = (last_lane % lanes + 1).astype(np.uint16)
+
+    # A packet continues its predecessor's row iff some row's lane span
+    # crosses the boundary between them: coverage counting via diff+cumsum.
+    new_row = np.ones(n_packets, dtype=bool)
+    crosses = end_packet > starts // lanes
+    if crosses.any():
+        delta = np.zeros(n_packets + 1, dtype=np.int64)
+        np.add.at(delta, starts[crosses] // lanes + 1, 1)
+        np.add.at(delta, end_packet[crosses] + 1, -1)
+        new_row[np.cumsum(delta[:-1]) > 0] = False
+
+    # Lane contents: every stored entry lands at its row's start plus its
+    # offset inside the row; placeholder and padding lanes keep the defaults.
+    idx_flat = np.zeros(n_packets * lanes, dtype=np.int64)
+    val_flat = np.full(n_packets * lanes, pad_code, dtype=np.uint64)
+    if matrix.nnz:
+        within = np.arange(matrix.nnz, dtype=np.int64) - np.repeat(
+            matrix.indptr[:-1], lengths
+        )
+        lane_pos = np.repeat(starts, lengths) + within
+        idx_flat[lane_pos] = matrix.indices
+        val_flat[lane_pos] = codec.encode(matrix.data)
+
+    return BSCSRStream(
+        layout=layout,
+        codec=codec,
+        n_rows=n_rows,
+        n_cols=matrix.n_cols,
+        nnz=matrix.nnz,
+        new_row=new_row,
+        ptr=ptr,
+        idx=idx_flat.reshape(n_packets, lanes),
+        val_raw=val_flat.reshape(n_packets, lanes),
+        rows_per_packet=rows_per_packet,
+    )
+
+
+def encode_bscsr_reference(
+    matrix: CSRMatrix,
+    layout: PacketLayout,
+    codec: ValueCodec,
+    rows_per_packet: int | None = None,
+) -> BSCSRStream:
+    """The original per-packet greedy encoder (hardware-faithful reference).
+
+    Kept as the ground truth the vectorised :func:`encode_bscsr` is tested
+    against bit for bit, and as the baseline ``benchmarks/bench_compile.py``
+    measures the build speedup from.
+    """
+    rows_per_packet = _check_encode_args(matrix, layout, rows_per_packet)
+    lanes = layout.lanes
 
     raw_all = codec.encode(matrix.data)
     indices = matrix.indices

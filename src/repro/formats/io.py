@@ -1,7 +1,7 @@
-"""Persistence for sparse matrices and BS-CSR streams.
+"""Persistence for sparse matrices, BS-CSR streams and compiled artifacts.
 
 A deployed similarity-search service encodes its collection once and serves
-it for days, so the encoded artifact must be storable.  Two formats:
+it for days, so the encoded artifact must be storable.  Three formats:
 
 * ``.npz`` containers (NumPy archives) for :class:`~repro.formats.csr.CSRMatrix`
   and the logical (structure-of-arrays) view of
@@ -9,11 +9,18 @@ it for days, so the encoded artifact must be storable.  Two formats:
   self-describing, versioned;
 * the raw **wire format** (concatenated 512-bit packets, exactly what the
   host DMA would write into HBM) via ``save_wire``/``load_wire`` with a
-  small JSON sidecar describing layout/codec/shape.
+  small JSON sidecar describing layout/codec/shape;
+* the generic **artifact container** (``save_artifact``/``load_artifact``):
+  one uncompressed ``.npz`` holding flat numpy buffers plus a single JSON
+  header entry carrying structure and a SHA-256 content digest.  Loading
+  is buffer-verbatim — arrays come back exactly as stored and slicing them
+  into per-partition views copies nothing — which is what gives
+  :class:`~repro.core.collection.CompiledCollection` its instant cold-start.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -34,9 +41,94 @@ __all__ = [
     "load_bscsr_matrix",
     "save_wire",
     "load_wire",
+    "save_artifact",
+    "load_artifact",
+    "artifact_digest",
 ]
 
 _FORMAT_VERSION = 1
+
+_HEADER_KEY = "header"
+
+
+def artifact_digest(arrays: "dict[str, np.ndarray]") -> str:
+    """SHA-256 content digest of a named buffer set.
+
+    Covers names, dtypes, shapes and raw bytes in sorted-name order, so any
+    bit flip in any buffer — or a renamed/missing/extra buffer — changes the
+    digest.  The header itself is not covered (it stores the digest).
+    """
+    sha = hashlib.sha256()
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        sha.update(name.encode())
+        sha.update(str(arr.dtype).encode())
+        sha.update(repr(arr.shape).encode())
+        sha.update(arr.tobytes())
+    return sha.hexdigest()
+
+
+def save_artifact(path: "str | Path", kind: str, header: dict, arrays: "dict[str, np.ndarray]") -> str:
+    """Store named buffers + a JSON header as one uncompressed ``.npz``.
+
+    The header is augmented with ``version``, ``kind`` and the content
+    ``digest`` over ``arrays`` (also returned, so callers need not re-hash);
+    :func:`load_artifact` re-derives the digest to detect corruption.
+    Uncompressed on purpose: artifact load time is a serving cold-start
+    cost.  The file lands at exactly ``path`` — an open handle is passed to
+    ``np.savez`` so it cannot append ``.npz`` behind the caller's back.
+    """
+    if _HEADER_KEY in arrays:
+        raise FormatError(f"array name {_HEADER_KEY!r} is reserved for the header")
+    digest = artifact_digest(arrays)
+    full_header = {
+        "version": _FORMAT_VERSION,
+        "kind": kind,
+        "digest": digest,
+        **header,
+    }
+    with open(path, "wb") as handle:
+        np.savez(handle, **{_HEADER_KEY: np.array(json.dumps(full_header))}, **arrays)
+    return digest
+
+
+def load_artifact(
+    path: "str | Path", kind: str, verify: bool = True
+) -> "tuple[dict, dict[str, np.ndarray]]":
+    """Load an artifact stored by :func:`save_artifact`; returns (header, arrays).
+
+    Raises :class:`FormatError` when the file has no header, declares a
+    different ``kind`` or version, or (with ``verify=True``) when the stored
+    digest does not match the loaded buffers.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        if _HEADER_KEY not in archive:
+            raise FormatError(f"{path} has no artifact header")
+        try:
+            header = json.loads(str(archive[_HEADER_KEY]))
+        except json.JSONDecodeError as exc:
+            raise FormatError(f"{path} has a malformed artifact header") from exc
+        if not isinstance(header, dict):
+            raise FormatError(f"{path} has a malformed artifact header")
+        if header.get("kind") != kind:
+            raise FormatError(
+                f"{path} holds {header.get('kind')!r}, expected {kind!r}"
+            )
+        if header.get("version") != _FORMAT_VERSION:
+            raise FormatError(
+                f"{path} has artifact version {header.get('version')!r}, "
+                f"this build reads version {_FORMAT_VERSION}"
+            )
+        arrays = {name: archive[name] for name in archive.files if name != _HEADER_KEY}
+    if verify:
+        digest = artifact_digest(arrays)
+        if digest != header.get("digest"):
+            raise FormatError(
+                f"{path} failed its content-digest check "
+                f"(stored {header.get('digest')!r}, computed {digest!r}); "
+                "the artifact is corrupted or was edited by hand"
+            )
+    return header, arrays
 
 
 def save_csr(path: "str | Path", matrix: CSRMatrix) -> None:

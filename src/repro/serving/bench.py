@@ -26,12 +26,22 @@ __all__ = ["ServeBenchConfig", "run_serve_bench"]
 
 @dataclass(frozen=True)
 class ServeBenchConfig:
-    """Knobs of one serve-bench run (defaults are CLI-speed friendly)."""
+    """Knobs of one serve-bench run (defaults are CLI-speed friendly).
+
+    ``collection`` names a compiled artifact (``repro compile`` output); when
+    set, the serving fleet is constructed straight from the loaded buffers —
+    no synthetic build, no re-encode — and ``rows``/``cols``/``avg_nnz``/
+    ``design`` are taken from the artifact instead of this config.  Caveat:
+    combining it with ``cores_per_shard`` re-partitions every row slice
+    across each board's own cores, which necessarily re-encodes per shard —
+    only aligned mode (the default) serves the artifact's buffers as-is.
+    """
 
     rows: int = 20_000
     cols: int = 512
     avg_nnz: int = 20
     design: str = "20b"
+    collection: "str | None" = None
     n_shards: int = 4
     cores_per_shard: "int | None" = None
     n_queries: int = 256
@@ -63,20 +73,41 @@ def _recall_at_k(engine: ShardedEngine, queries: np.ndarray, top_k: int) -> floa
 def run_serve_bench(config: ServeBenchConfig) -> tuple[str, dict]:
     """Run the serving simulation; returns (rendered report, JSON payload)."""
     rng = derive_rng(config.seed)
-    matrix = synthetic_embeddings(
-        n_rows=config.rows,
-        n_cols=config.cols,
-        avg_nnz=config.avg_nnz,
-        distribution="uniform",
-        seed=config.seed,
-    )
-    engine = ShardedEngine(
-        matrix,
-        n_shards=config.n_shards,
-        design=design_by_name(config.design),
-        cores_per_shard=config.cores_per_shard,
-    )
-    queries = sample_unit_queries(rng, config.n_queries, config.cols)
+    if config.collection is not None:
+        from repro.core.collection import CompiledCollection
+
+        compiled = CompiledCollection.load(config.collection)
+        engine = ShardedEngine(
+            compiled,
+            n_shards=config.n_shards,
+            cores_per_shard=config.cores_per_shard,
+        )
+        n_cols = compiled.n_cols
+        # Report the short design key ('20b') when the artifact's design is a
+        # paper design point, so payloads group with synthetic-mode runs.
+        from repro.hw.design import PAPER_DESIGNS
+
+        design_name = next(
+            (k for k, v in PAPER_DESIGNS.items() if v.name == compiled.design.name),
+            compiled.design.name,
+        )
+    else:
+        matrix = synthetic_embeddings(
+            n_rows=config.rows,
+            n_cols=config.cols,
+            avg_nnz=config.avg_nnz,
+            distribution="uniform",
+            seed=config.seed,
+        )
+        engine = ShardedEngine(
+            matrix,
+            n_shards=config.n_shards,
+            design=design_by_name(config.design),
+            cores_per_shard=config.cores_per_shard,
+        )
+        n_cols = config.cols
+        design_name = config.design
+    queries = sample_unit_queries(rng, config.n_queries, n_cols)
     # Built before the arrival process so batcher parameters are validated
     # first (a zero batch size must not surface as a rate error).
     batcher = MicroBatcher(
@@ -102,10 +133,15 @@ def run_serve_bench(config: ServeBenchConfig) -> tuple[str, dict]:
 
     payload = {
         "config": {
-            "rows": config.rows,
-            "cols": config.cols,
-            "avg_nnz": config.avg_nnz,
-            "design": config.design,
+            "rows": engine.matrix.n_rows,
+            "cols": n_cols,
+            "avg_nnz": (
+                config.avg_nnz
+                if config.collection is None
+                else round(engine.matrix.nnz / max(1, engine.matrix.n_rows))
+            ),
+            "design": design_name,
+            "collection": config.collection,
             "n_shards": config.n_shards,
             "cores_per_shard": config.cores_per_shard,
             "n_queries": config.n_queries,

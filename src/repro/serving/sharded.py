@@ -31,16 +31,15 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.core.approx import merge_topk_candidates
+from repro.core.collection import CompiledCollection, compile_collection
 from repro.core.dataflow import (
     DataflowStats,
     StreamPlan,
-    plan_stream,
     simulate_multicore,
     simulate_multicore_batch,
 )
 from repro.core.engine import (
     BatchResult,
-    as_csr_matrix,
     check_query_block,
     check_query_vector,
 )
@@ -49,7 +48,7 @@ from repro.core.reference import TopKResult, exact_topk_spmv
 from repro.errors import ConfigurationError
 from repro.formats.bscsr import BSCSRMatrix
 from repro.hw.calibration import CALIBRATION, CalibrationConstants
-from repro.hw.design import AcceleratorDesign, PAPER_DESIGNS
+from repro.hw.design import AcceleratorDesign
 from repro.hw.hbm import ALVEO_U280_HBM, HBMConfig
 from repro.hw.multicore import AcceleratorTiming, TopKSpmvAccelerator
 from repro.hw.power import estimate_fpga_power_w
@@ -63,17 +62,20 @@ __all__ = ["EngineShard", "ShardedResult", "ShardedEngine"]
 class EngineShard:
     """One simulated board holding a contiguous slice of the collection.
 
-    ``encoded.row_offsets`` are *global* row ids, so candidate lists come out
-    of the cores already globalised and merge directly across shards.
+    ``encoded`` shares its stream buffers with the compiled ``collection``
+    it was sliced from (``encoded.row_offsets`` are *global* row ids, so
+    candidate lists come out of the cores already globalised and merge
+    directly across shards), and ``stream_plans`` resolves through the
+    collection's single lazy plan cache — a shard never re-encodes or
+    re-plans anything the parent artifact already holds.
     """
 
     shard_id: int
     encoded: BSCSRMatrix
     timing: AcceleratorTiming
     power_w: float
-
-    def __post_init__(self) -> None:
-        self._plans: "list[StreamPlan] | None" = None
+    collection: CompiledCollection
+    stream_range: "tuple[int, int]"
 
     @property
     def n_streams(self) -> int:
@@ -86,10 +88,8 @@ class EngineShard:
         return self.encoded.nnz
 
     def stream_plans(self) -> "list[StreamPlan]":
-        """Per-stream batch plans, built once and cached."""
-        if self._plans is None:
-            self._plans = [plan_stream(s) for s in self.encoded.streams]
-        return self._plans
+        """This shard's batch plans, from the collection's shared cache."""
+        return self.collection.stream_plans_range(*self.stream_range)
 
 
 @dataclass(frozen=True)
@@ -127,12 +127,16 @@ class ShardedEngine:
         uram: URAMSpec = ALVEO_U280_URAM,
         constants: CalibrationConstants = CALIBRATION,
     ):
-        """Shard (partition + encode) a collection across ``n_shards`` boards.
+        """Shard a collection across ``n_shards`` boards.
 
         Parameters
         ----------
         matrix:
-            The sparse embedding collection (CSRMatrix / SciPy / dense).
+            Either an already-compiled
+            :class:`~repro.core.collection.CompiledCollection` — in aligned
+            mode its encoded streams are dealt to shards as slices, with no
+            re-encode — or the raw sparse embedding collection
+            (CSRMatrix / SciPy / dense), which is compiled first.
         n_shards:
             Number of boards.  In aligned mode it must not exceed
             ``design.cores`` (each shard needs at least one stream).
@@ -143,13 +147,7 @@ class ShardedEngine:
             ``None`` selects aligned mode (see module docstring); an integer
             gives every shard its own full board with that many cores.
         """
-        self.matrix = as_csr_matrix(matrix)
         self.n_shards = check_positive_int(n_shards, "n_shards")
-        if design is None:
-            design = PAPER_DESIGNS["20b"]
-        if self.matrix.n_cols > design.max_columns:
-            design = replace(design, max_columns=self.matrix.n_cols)
-        self.design = design
         self.constants = constants
         self.cores_per_shard = (
             None
@@ -157,67 +155,93 @@ class ShardedEngine:
             else check_positive_int(cores_per_shard, "cores_per_shard")
         )
 
-        shard_cores = design.cores if cores_per_shard is None else cores_per_shard
+        from repro.core.collection import check_design_compatible, resolve_design
+        from repro.core.engine import as_csr_matrix
+
+        collection = None
+        if isinstance(matrix, CompiledCollection):
+            check_design_compatible(matrix, design, "shard")
+            collection = matrix
+            self.matrix = collection.matrix
+            self.design = collection.design
+        else:
+            self.matrix = as_csr_matrix(matrix)
+            self.design = resolve_design(self.matrix, design)
+
+        # Validate the boards can hold the query vector *before* paying for
+        # any (potentially long) build.
+        shard_cores = (
+            self.design.cores if self.cores_per_shard is None else self.cores_per_shard
+        )
         check_vector_fits(
             vector_size=max(1, self.matrix.n_cols),
             cores=shard_cores,
-            lanes=design.layout.lanes,
+            lanes=self.design.layout.lanes,
             x_bits=32,
             spec=uram,
         )
 
-        if cores_per_shard is None:
-            self.shards = self._build_aligned_shards(hbm, constants)
+        if self.cores_per_shard is None and collection is None:
+            # Aligned mode consumes the standard single-board artifact.
+            collection = compile_collection(self.matrix, self.design)
+        #: The parent compiled artifact; ``None`` only in full-board mode
+        #: from a raw matrix (each shard then owns its own collection).
+        #: Note full-board mode re-partitions every row slice across its own
+        #: cores, so it always re-encodes — even from a compiled artifact.
+        self.collection = collection
+
+        if self.cores_per_shard is None:
+            self.shards = self._slice_aligned_shards(hbm, constants)
         else:
-            self.shards = self._build_full_board_shards(hbm, constants)
+            self.shards = self._compile_full_board_shards(hbm, constants)
 
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
-    def _build_aligned_shards(
+    def _slice_aligned_shards(
         self, hbm: HBMConfig, constants: CalibrationConstants
     ) -> "list[EngineShard]":
+        """Deal the compiled artifact's streams to shards — zero re-encode.
+
+        Each shard's packet buffers are slices of the parent collection and
+        its plans resolve through the parent's cache, so sharding an
+        already-compiled (or loaded) collection costs only timing/power
+        bookkeeping.
+        """
         design = self.design
-        if self.n_shards > design.cores:
+        collection = self.collection
+        n_parts = collection.n_partitions
+        if self.n_shards > n_parts:
             raise ConfigurationError(
-                f"aligned mode cannot spread {design.cores} partition streams "
+                f"aligned mode cannot spread {n_parts} partition streams "
                 f"over {self.n_shards} shards; lower n_shards or set "
                 "cores_per_shard"
             )
-        encoded = BSCSRMatrix.encode(
-            self.matrix,
-            layout=design.layout,
-            codec=design.codec,
-            n_partitions=design.cores,
-            rows_per_packet=design.effective_rows_per_packet,
-        )
         shards = []
-        for shard_id, deal in enumerate(partition_rows(design.cores, self.n_shards)):
-            streams = encoded.streams[deal.start : deal.stop]
-            shard_matrix = BSCSRMatrix(
-                streams=streams,
-                row_offsets=encoded.row_offsets[deal.start : deal.stop],
-                n_rows=self.matrix.n_rows,
-                n_cols=self.matrix.n_cols,
-            )
+        for shard_id, deal in enumerate(partition_rows(n_parts, self.n_shards)):
+            shard_matrix = collection.stream_slice(deal.start, deal.stop)
             accelerator = TopKSpmvAccelerator(design, hbm, constants)
             timing = accelerator.timing_from_packets(
-                [s.n_packets for s in streams], nnz=shard_matrix.nnz
+                [s.n_packets for s in shard_matrix.streams], nnz=shard_matrix.nnz
             )
-            board = replace(design, cores=max(1, len(streams)))
+            board = replace(design, cores=max(1, len(shard_matrix.streams)))
             shards.append(
                 EngineShard(
                     shard_id=shard_id,
                     encoded=shard_matrix,
                     timing=timing,
                     power_w=estimate_fpga_power_w(board, constants),
+                    collection=collection,
+                    stream_range=(deal.start, deal.stop),
                 )
             )
         return shards
 
-    def _build_full_board_shards(
+    def _compile_full_board_shards(
         self, hbm: HBMConfig, constants: CalibrationConstants
     ) -> "list[EngineShard]":
+        """One compiled collection per shard: each board re-partitions its
+        row slice across its own ``cores_per_shard`` cores."""
         design = replace(
             self.design,
             name=f"{self.design.base_name} {self.cores_per_shard}C",
@@ -227,22 +251,18 @@ class ShardedEngine:
         for shard_id, part in enumerate(
             partition_rows(self.matrix.n_rows, self.n_shards)
         ):
-            local = BSCSRMatrix.encode(
-                self.matrix.row_slice(part.start, part.stop),
-                layout=design.layout,
-                codec=design.codec,
-                n_partitions=design.cores,
-                rows_per_packet=design.effective_rows_per_packet,
+            local = compile_collection(
+                self.matrix.row_slice(part.start, part.stop), design
             )
             shard_matrix = BSCSRMatrix(
-                streams=local.streams,
-                row_offsets=local.row_offsets + part.start,
+                streams=local.encoded.streams,
+                row_offsets=local.encoded.row_offsets + part.start,
                 n_rows=self.matrix.n_rows,
                 n_cols=self.matrix.n_cols,
             )
             accelerator = TopKSpmvAccelerator(design, hbm, constants)
             timing = accelerator.timing_from_packets(
-                [s.n_packets for s in local.streams], nnz=local.nnz
+                [s.n_packets for s in shard_matrix.streams], nnz=local.nnz
             )
             shards.append(
                 EngineShard(
@@ -250,6 +270,8 @@ class ShardedEngine:
                     encoded=shard_matrix,
                     timing=timing,
                     power_w=estimate_fpga_power_w(design, constants),
+                    collection=local,
+                    stream_range=(0, local.n_partitions),
                 )
             )
         return shards

@@ -38,3 +38,35 @@ class TestMain:
     def test_seed_and_rows_overrides(self, capsys):
         assert main(["table1", "--quick", "--seed", "7"]) == 0
         capsys.readouterr()
+
+    def test_stray_positionals_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "extra.npz"])
+
+
+class TestCompileCommand:
+    def test_compile_then_serve(self, tmp_path, capsys):
+        target = tmp_path / "collection.npz"
+        assert main([
+            "compile", "synthetic", str(target),
+            "--rows", "800", "--cols", "128", "--avg-nnz", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "digest:" in out
+        assert target.exists()
+        assert main([
+            "serve-bench", "--collection", str(target),
+            "--n-queries", "16", "--shards", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "800 rows" in out
+
+    def test_compile_requires_dataset_and_output(self):
+        with pytest.raises(SystemExit):
+            main(["compile"])
+        with pytest.raises(SystemExit):
+            main(["compile", "synthetic"])
+
+    def test_compile_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["compile", "imagenet", str(tmp_path / "x.npz")])

@@ -1,0 +1,202 @@
+"""Compile → save → load → serve: the artifact round-trip is bit-exact.
+
+A collection compiled once and reloaded in a fresh process must serve
+queries bit-identical to an engine built directly from the matrix — same
+indices, same float bits, same DataflowStats — with the build pipeline never
+invoked on the load path.  Corrupted files and mismatched headers must fail
+loudly instead of serving wrong results.
+"""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+import repro.formats.bscsr as bscsr_mod
+from repro import CompiledCollection, PAPER_DESIGNS, TopKSpmvEngine, compile_collection
+from repro.data.synthetic import synthetic_embeddings
+from repro.errors import FormatError
+from repro.serving.sharded import ShardedEngine
+from repro.utils.rng import sample_unit_queries
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return synthetic_embeddings(n_rows=2500, n_cols=256, avg_nnz=12, seed=11)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return sample_unit_queries(np.random.default_rng(5), 12, 256)
+
+
+@pytest.fixture(scope="module")
+def saved_path(matrix, tmp_path_factory):
+    path = tmp_path_factory.mktemp("artifacts") / "collection.npz"
+    compile_collection(matrix, PAPER_DESIGNS["20b"]).save(path)
+    return path
+
+
+class TestRoundTrip:
+    def test_load_never_encodes(self, saved_path, monkeypatch):
+        """The load path is pure I/O: any encoder invocation is a bug."""
+        def _boom(*args, **kwargs):
+            raise AssertionError("encode_bscsr invoked on the load path")
+
+        monkeypatch.setattr(bscsr_mod, "encode_bscsr", _boom)
+        monkeypatch.setattr(bscsr_mod, "encode_bscsr_reference", _boom)
+        monkeypatch.setattr(bscsr_mod.BSCSRMatrix, "encode", _boom)
+        loaded = CompiledCollection.load(saved_path)
+        assert loaded.n_partitions == 32
+        # Engines attach to the artifact without touching the encoder either.
+        TopKSpmvEngine.from_collection(loaded)
+        ShardedEngine(loaded, n_shards=4)
+
+    def test_loaded_streams_are_views_of_stored_buffers(self, saved_path):
+        """Zero-copy: per-partition arrays alias the stacked load buffers."""
+        loaded = CompiledCollection.load(saved_path)
+        streams = loaded.encoded.streams
+        bases = {id(s.ptr.base) for s in streams if s.ptr.base is not None}
+        # All non-empty partitions slice the same stacked ptr buffer.
+        assert len(bases) == 1
+
+    def test_query_bit_identical_to_direct_build(self, matrix, queries, saved_path):
+        direct = TopKSpmvEngine(matrix, PAPER_DESIGNS["20b"])
+        loaded = TopKSpmvEngine.from_collection(CompiledCollection.load(saved_path))
+        for x in queries:
+            a = direct.query(x, top_k=10)
+            b = loaded.query(x, top_k=10)
+            assert a.topk.indices.tolist() == b.topk.indices.tolist()
+            assert a.topk.values.tobytes() == b.topk.values.tobytes()
+            assert a.dataflow == b.dataflow
+
+    def test_query_batch_bit_identical_to_direct_build(self, matrix, queries, saved_path):
+        direct = TopKSpmvEngine(matrix, PAPER_DESIGNS["20b"])
+        loaded = TopKSpmvEngine.from_collection(CompiledCollection.load(saved_path))
+        batch_a = direct.query_batch(queries, top_k=10)
+        batch_b = loaded.query_batch(queries, top_k=10)
+        assert batch_a.dataflow == batch_b.dataflow
+        for ra, rb in zip(batch_a.topk, batch_b.topk):
+            assert ra.indices.tolist() == rb.indices.tolist()
+            assert ra.values.tobytes() == rb.values.tobytes()
+
+    def test_sharded_serving_from_loaded_artifact(self, matrix, queries, saved_path):
+        fleet_direct = ShardedEngine(matrix, n_shards=4, design=PAPER_DESIGNS["20b"])
+        fleet_loaded = ShardedEngine(CompiledCollection.load(saved_path), n_shards=4)
+        for x in queries[:4]:
+            a = fleet_direct.query(x, top_k=10)
+            b = fleet_loaded.query(x, top_k=10)
+            assert a.topk.indices.tolist() == b.topk.indices.tolist()
+            assert a.topk.values.tobytes() == b.topk.values.tobytes()
+
+    def test_digest_survives_round_trip(self, matrix, saved_path):
+        compiled = compile_collection(matrix, PAPER_DESIGNS["20b"])
+        loaded = CompiledCollection.load(saved_path)
+        assert loaded.digest == compiled.digest
+
+    def test_save_path_is_taken_verbatim(self, matrix, tmp_path):
+        """No hidden '.npz' suffix: the artifact lands exactly where asked."""
+        path = tmp_path / "collection.artifact"
+        compiled = compile_collection(matrix, PAPER_DESIGNS["20b"])
+        compiled.save(path)
+        assert path.exists()
+        assert not (tmp_path / "collection.artifact.npz").exists()
+        assert CompiledCollection.load(path).digest == compiled.digest
+
+    def test_original_matrix_round_trips_exactly(self, matrix, saved_path):
+        loaded = CompiledCollection.load(saved_path)
+        assert loaded.matrix.data.tobytes() == matrix.data.tobytes()
+        assert np.array_equal(loaded.matrix.indices, matrix.indices)
+        assert np.array_equal(loaded.matrix.indptr, matrix.indptr)
+
+
+class TestLoadFailures:
+    def _resave_with(self, src, dst, *, header=None, drop=None, corrupt=None):
+        """Rewrite an artifact with a tampered header / missing / bit-flipped entry."""
+        with np.load(src, allow_pickle=False) as archive:
+            entries = {name: archive[name] for name in archive.files}
+        if header is not None:
+            stored = json.loads(str(entries["header"]))
+            stored.update(header)
+            entries["header"] = np.array(json.dumps(stored))
+        if drop is not None:
+            del entries[drop]
+        if corrupt is not None:
+            arr = entries[corrupt].copy()
+            flat = arr.reshape(-1)
+            flat[0] = flat[0] ^ 1 if arr.dtype.kind in "iu" else not flat[0]
+            entries[corrupt] = arr
+        np.savez(dst, **entries)
+        return dst
+
+    def test_not_an_artifact(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(FormatError, match="no artifact header"):
+            CompiledCollection.load(path)
+
+    def test_wrong_kind_rejected(self, saved_path, tmp_path):
+        bad = self._resave_with(
+            saved_path, tmp_path / "wrong-kind.npz", header={"kind": "bscsr-matrix"}
+        )
+        with pytest.raises(FormatError, match="expected 'compiled-collection'"):
+            CompiledCollection.load(bad)
+
+    def test_wrong_version_rejected(self, saved_path, tmp_path):
+        bad = self._resave_with(
+            saved_path, tmp_path / "wrong-version.npz", header={"version": 999}
+        )
+        with pytest.raises(FormatError, match="version"):
+            CompiledCollection.load(bad)
+
+    def test_corrupted_packet_buffer_rejected(self, saved_path, tmp_path):
+        bad = self._resave_with(
+            saved_path, tmp_path / "corrupt.npz", corrupt="val_raw"
+        )
+        with pytest.raises(FormatError, match="digest"):
+            CompiledCollection.load(bad)
+
+    def test_missing_buffer_rejected(self, saved_path, tmp_path):
+        bad = self._resave_with(saved_path, tmp_path / "missing.npz", drop="ptr")
+        with pytest.raises(FormatError):
+            CompiledCollection.load(bad)
+
+    def test_incomplete_header_rejected(self, saved_path, tmp_path):
+        """Missing header keys surface as FormatError, never raw KeyError."""
+        with np.load(saved_path, allow_pickle=False) as archive:
+            stored = json.loads(str(archive["header"]))
+        for key in ("rows_per_packet", "n_cols", "design", "n_partitions"):
+            pruned = {k: v for k, v in stored.items() if k != key}
+            bad = tmp_path / f"no-{key}.npz"
+            with np.load(saved_path, allow_pickle=False) as archive:
+                entries = {name: archive[name] for name in archive.files}
+            entries["header"] = np.array(json.dumps(pruned))
+            np.savez(bad, **entries)
+            with pytest.raises(FormatError):
+                CompiledCollection.load(bad)
+
+    def test_header_codec_mismatch_rejected(self, saved_path, tmp_path):
+        bad = self._resave_with(
+            saved_path, tmp_path / "codec-mismatch.npz", header={"codec": "fixed25"}
+        )
+        with pytest.raises(FormatError, match="codec"):
+            CompiledCollection.load(bad, verify=False)
+
+    def test_header_layout_mismatch_rejected(self, saved_path, tmp_path):
+        with np.load(saved_path, allow_pickle=False) as archive:
+            stored = json.loads(str(archive["header"]))
+        tampered_layout = dict(stored["layout"], lanes=stored["layout"]["lanes"] - 1)
+        bad = self._resave_with(
+            saved_path, tmp_path / "layout-mismatch.npz",
+            header={"layout": tampered_layout},
+        )
+        with pytest.raises(FormatError, match="layout"):
+            CompiledCollection.load(bad, verify=False)
+
+    def test_truncated_zip_rejected(self, saved_path, tmp_path):
+        bad = tmp_path / "truncated.npz"
+        data = saved_path.read_bytes()
+        bad.write_bytes(data[: len(data) // 2])
+        with pytest.raises((FormatError, zipfile.BadZipFile, OSError, ValueError, KeyError)):
+            CompiledCollection.load(bad)

@@ -1,0 +1,151 @@
+"""Property suite: the vectorised BS-CSR encoder is bit-identical to the
+original per-packet greedy encoder on arbitrary inputs.
+
+``encode_bscsr`` (cumsum lane layout + scatter, with an exact scalar
+continuation from the first rows-per-packet early close) must reproduce
+``encode_bscsr_reference`` field for field — ``new_row``, ``ptr``, ``idx``,
+``val_raw`` and all metadata — for every matrix/layout/budget combination,
+including the adversarial regimes the fast path special-cases: empty rows,
+rows spanning many packets, ``rows_per_packet=1`` (an early close at almost
+every packet) and zero-row matrices.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arithmetic.codecs import ExactCodec, codec_for_design
+from repro.data.glove import sparsified_glove_embeddings
+from repro.data.synthetic import synthetic_embeddings
+from repro.formats.bscsr import (
+    encode_bscsr,
+    encode_bscsr_reference,
+    validate_stream,
+)
+from repro.formats.csr import CSRMatrix
+from repro.formats.layout import solve_layout
+
+
+def assert_streams_bit_identical(got, want):
+    assert got.n_packets == want.n_packets
+    assert np.array_equal(got.new_row, want.new_row)
+    assert np.array_equal(got.ptr, want.ptr)
+    assert np.array_equal(got.idx, want.idx)
+    assert got.val_raw.tobytes() == want.val_raw.tobytes()
+    assert got.n_rows == want.n_rows
+    assert got.n_cols == want.n_cols
+    assert got.nnz == want.nnz
+    assert got.rows_per_packet == want.rows_per_packet
+
+
+@st.composite
+def sparse_matrices(draw, max_rows=40, max_cols=32):
+    """Arbitrary small CSR matrices, empty rows and all-zero matrices included."""
+    n_rows = draw(st.integers(0, max_rows))
+    n_cols = draw(st.integers(1, max_cols))
+    rows = []
+    for _ in range(n_rows):
+        length = draw(st.integers(0, min(n_cols, 12)))
+        cols = draw(
+            st.lists(
+                st.integers(0, n_cols - 1),
+                min_size=length, max_size=length, unique=True,
+            )
+        )
+        vals = draw(
+            st.lists(st.integers(1, 2**19 - 1), min_size=length, max_size=length)
+        )
+        rows.append(
+            (np.array(sorted(cols), dtype=np.int64),
+             np.array(vals, dtype=np.float64) / 2**19)
+        )
+    return CSRMatrix.from_rows(rows, n_cols=n_cols)
+
+
+class TestEncoderEquivalence:
+    @given(
+        matrix=sparse_matrices(),
+        lanes=st.integers(2, 15),
+        data=st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_matrices_all_budgets(self, matrix, lanes, data):
+        r = data.draw(st.integers(1, lanes))
+        layout = solve_layout(matrix.n_cols, 64, packet_bits=2048, lanes=lanes)
+        got = encode_bscsr(matrix, layout, ExactCodec(), rows_per_packet=r)
+        want = encode_bscsr_reference(matrix, layout, ExactCodec(), rows_per_packet=r)
+        assert_streams_bit_identical(got, want)
+        validate_stream(got)
+
+    @given(
+        seed=st.integers(0, 2**16),
+        avg_nnz=st.sampled_from([1, 2, 8, 24]),
+        value_bits=st.sampled_from([20, 25, 32]),
+        r=st.sampled_from([1, 3, 7, 15]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_synthetic_embeddings(self, seed, avg_nnz, value_bits, r):
+        """Paper-style synthetic collections across designs and budgets."""
+        matrix = synthetic_embeddings(
+            n_rows=400, n_cols=256, avg_nnz=avg_nnz, seed=seed
+        )
+        layout = solve_layout(1024, value_bits)
+        codec = codec_for_design(value_bits, "fixed")
+        r = min(r, layout.lanes)
+        got = encode_bscsr(matrix, layout, codec, rows_per_packet=r)
+        want = encode_bscsr_reference(matrix, layout, codec, rows_per_packet=r)
+        assert_streams_bit_identical(got, want)
+
+    def test_glove_style_input(self):
+        """The sparsified-GloVe pipeline output (signed-magnitude spread)."""
+        matrix = sparsified_glove_embeddings(n_rows=600, n_cols=128, avg_nnz=18, seed=3)
+        layout = solve_layout(1024, 20)
+        codec = codec_for_design(20, "fixed")
+        for r in (1, layout.lanes // 2, layout.lanes):
+            got = encode_bscsr(matrix, layout, codec, rows_per_packet=r)
+            want = encode_bscsr_reference(matrix, layout, codec, rows_per_packet=r)
+            assert_streams_bit_identical(got, want)
+
+    def test_budget_bound_regime_stays_exact(self):
+        """All-short rows: the early close fires constantly (scalar path)."""
+        n_rows, n_cols = 300, 16
+        rows = [
+            (np.array([i % n_cols], dtype=np.int64), np.array([0.5]))
+            for i in range(n_rows)
+        ]
+        matrix = CSRMatrix.from_rows(rows, n_cols=n_cols)
+        layout = solve_layout(n_cols, 20)
+        codec = codec_for_design(20, "fixed")
+        for r in (1, 2, 3):
+            got = encode_bscsr(matrix, layout, codec, rows_per_packet=r)
+            want = encode_bscsr_reference(matrix, layout, codec, rows_per_packet=r)
+            assert_streams_bit_identical(got, want)
+
+    def test_all_empty_rows(self):
+        """Placeholder-only streams (every row is a zero row)."""
+        matrix = CSRMatrix(
+            indptr=np.zeros(101, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int64),
+            data=np.empty(0, dtype=np.float64),
+            n_cols=8,
+        )
+        layout = solve_layout(8, 20)
+        codec = codec_for_design(20, "fixed")
+        for r in (1, 4, layout.lanes):
+            got = encode_bscsr(matrix, layout, codec, rows_per_packet=r)
+            want = encode_bscsr_reference(matrix, layout, codec, rows_per_packet=r)
+            assert_streams_bit_identical(got, want)
+
+    def test_zero_rows(self):
+        matrix = CSRMatrix(
+            indptr=np.zeros(1, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int64),
+            data=np.empty(0, dtype=np.float64),
+            n_cols=4,
+        )
+        layout = solve_layout(4, 20)
+        codec = codec_for_design(20, "fixed")
+        got = encode_bscsr(matrix, layout, codec)
+        want = encode_bscsr_reference(matrix, layout, codec)
+        assert_streams_bit_identical(got, want)
+        assert got.n_packets == 0

@@ -162,8 +162,11 @@ class TestBatchQueries:
 
     def test_stream_plans_cached(self, small_matrix, queries):
         engine = TopKSpmvEngine(small_matrix, design=PAPER_DESIGNS["20b"])
-        assert engine._plans is None  # lazy until the first batched query
+        # Lazy until the first batched query; the cache lives on the
+        # compiled artifact so every consumer of the collection shares it.
+        assert engine.collection._plans_all is None
         engine.query_batch(queries, top_k=10)
         plans = engine.stream_plans()
         assert plans is engine.stream_plans()
+        assert plans is engine.collection.stream_plans()
         assert len(plans) == engine.encoded.n_partitions
