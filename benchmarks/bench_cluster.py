@@ -1,0 +1,85 @@
+"""Benchmark for the cluster serving runtime (ISSUE-3 tentpole).
+
+Drives the *same* saturating Poisson stream through 1, 2 and 4 replica
+engines — every replica a board over one shared compiled collection — and
+records how cluster throughput scales with the replica count.  Emits
+``benchmarks/results/cluster_scaling.json`` so successive PRs can track the
+scaling trajectory, and asserts the acceptance floor: **>= 2x cluster QPS at
+4 replicas vs 1**.
+
+Because the runtime is a seeded event simulation, the reported QPS is the
+modelled fleet throughput (span-based, as a capacity planner would measure
+it), not host wall-clock — the numbers are exactly reproducible.
+"""
+
+import json
+from pathlib import Path
+
+from repro import PAPER_DESIGNS, TopKSpmvEngine, compile_collection
+from repro.data.synthetic import synthetic_embeddings
+from repro.serving import ClusterRuntime, poisson_arrivals
+from repro.utils.rng import derive_rng, sample_unit_queries
+
+REPLICA_COUNTS = (1, 2, 4)
+N_QUERIES = 512
+MAX_BATCH = 16
+MAX_WAIT_S = 2e-3
+TOP_K = 10
+SEED = 42
+
+
+def test_cluster_qps_scales_with_replicas():
+    """Same stream, 1/2/4 replicas: QPS must at least double by 4 boards."""
+    matrix = synthetic_embeddings(
+        n_rows=8000, n_cols=256, avg_nnz=12, distribution="uniform", seed=SEED
+    )
+    collection = compile_collection(matrix, PAPER_DESIGNS["20b"])
+    probe = TopKSpmvEngine.from_collection(collection)
+    # Offered load far beyond what even four boards absorb, so every fleet
+    # size runs fully backlogged and QPS measures pure service capacity.
+    full_batch_s = (
+        MAX_BATCH * probe.timing.makespan_s + probe.constants.host_overhead_s
+    )
+    rate = 8.0 * max(REPLICA_COUNTS) * MAX_BATCH / full_batch_s
+    rng = derive_rng(SEED)
+    queries = sample_unit_queries(rng, N_QUERIES, collection.n_cols)
+    arrivals = poisson_arrivals(N_QUERIES, rate, rng)
+
+    runs = {}
+    for n_replicas in REPLICA_COUNTS:
+        runtime = ClusterRuntime(
+            [TopKSpmvEngine.from_collection(collection) for _ in range(n_replicas)],
+            router="least-outstanding",
+            max_batch_size=MAX_BATCH,
+            max_wait_s=MAX_WAIT_S,
+        )
+        _, report = runtime.run(queries, arrivals, top_k=TOP_K)
+        assert report.n_queries == N_QUERIES  # conservation: nothing dropped
+        runs[n_replicas] = {
+            "qps": report.qps,
+            "p50_latency_ms": report.p50_latency_s * 1e3,
+            "p99_latency_ms": report.p99_latency_s * 1e3,
+            "span_s": report.span_s,
+            "n_batches": report.n_batches,
+            "energy_j": report.energy_j,
+        }
+
+    scaling_4x = runs[4]["qps"] / runs[1]["qps"]
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    payload = {
+        "collection": {"rows": 8000, "cols": 256, "avg_nnz": 12, "seed": SEED},
+        "design": "20b",
+        "router": "least-outstanding",
+        "offered_rate_qps": rate,
+        "n_queries": N_QUERIES,
+        "max_batch_size": MAX_BATCH,
+        "replicas": {str(n): r for n, r in runs.items()},
+        "qps_scaling_4_vs_1": scaling_4x,
+    }
+    with open(results_dir / "cluster_scaling.json", "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+
+    assert scaling_4x >= 2.0, (
+        f"cluster QPS only scaled {scaling_4x:.2f}x from 1 to 4 replicas"
+    )

@@ -7,6 +7,8 @@ Usage::
     python -m repro all -o EXPERIMENTS_RUN.md
     python -m repro figure7 --quick   # reduced scale for a fast look
     python -m repro serve-bench --shards 4 --batch-size 16 --json serve.json
+    python -m repro serve-bench --replicas 4 --router power-of-two \
+        --cache-size 256 --queue-capacity 32   # the cluster tier
 
 Build/serve split (the production workflow)::
 
@@ -104,6 +106,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="accelerator design point served (default 20b)",
     )
     serving.add_argument(
+        "--replicas", type=int, default=1,
+        help="replicate the sharded fleet N times behind the cluster "
+        "runtime (default 1: single fleet, no cluster tier)",
+    )
+    serving.add_argument(
+        "--router", type=str, default="round-robin",
+        choices=["round-robin", "least-outstanding", "power-of-two"],
+        help="cluster routing policy (default round-robin; any non-default "
+        "value engages the cluster tier even with --replicas 1)",
+    )
+    serving.add_argument(
+        "--cache-size", type=int, default=0,
+        help="exact-result LRU cache capacity in entries (default 0: "
+        "disabled); hits are bit-identical to engine results",
+    )
+    serving.add_argument(
+        "--queue-capacity", type=int, default=None,
+        help="admission control: max queued requests per replica before "
+        "rejection (default: unbounded)",
+    )
+    serving.add_argument(
         "--json", type=str, default=None, metavar="PATH",
         help="also dump the serve-bench numbers as JSON",
     )
@@ -143,6 +166,10 @@ def _serve_bench_config(args: argparse.Namespace) -> "ServeBenchConfig":
         rate_qps=args.rate_qps,
         seed=args.seed if args.seed is not None else 0,
         collection=args.collection,
+        replicas=args.replicas,
+        router=args.router,
+        cache_size=args.cache_size,
+        queue_capacity=args.queue_capacity,
     )
     if args.quick:
         config = config.quick()

@@ -1,23 +1,56 @@
-"""Serving layer: sharded multi-board deployment + micro-batching queue.
+"""Serving layer: sharded boards, micro-batching, and the cluster tier.
 
 Everything above the single-board engine needed to model a production
 similarity-search service: :class:`~repro.serving.sharded.ShardedEngine`
 spreads one collection across N simulated boards with a scatter-gather
 merge, :class:`~repro.serving.batcher.MicroBatcher` coalesces a timed query
 stream into batches for the vectorised multi-query dataflow, and
-:mod:`repro.serving.bench` wires both into the ``serve-bench`` CLI workload.
+:class:`~repro.serving.cluster.ClusterRuntime` fronts N replica engines
+with pluggable routing (:mod:`repro.serving.router`), an exact-result LRU
+(:class:`~repro.serving.cache.QueryCache`) and bounded-queue admission
+control — all as one deterministic event simulation.
+:mod:`repro.serving.bench` wires the stack into the ``serve-bench`` CLI.
 """
 
-from repro.serving.batcher import MicroBatcher, ServingReport, poisson_arrivals
+from repro.serving.batcher import (
+    BatchQueue,
+    MicroBatcher,
+    ServedBatch,
+    ServingReport,
+    poisson_arrivals,
+)
 from repro.serving.bench import ServeBenchConfig, run_serve_bench
+from repro.serving.cache import QueryCache, query_cache_key
+from repro.serving.cluster import ClusterReport, ClusterRuntime, RequestTrace
+from repro.serving.router import (
+    ROUTERS,
+    LeastOutstandingRouter,
+    PowerOfTwoChoicesRouter,
+    RoundRobinRouter,
+    Router,
+    make_router,
+)
 from repro.serving.sharded import EngineShard, ShardedEngine, ShardedResult
 
 __all__ = [
+    "BatchQueue",
     "MicroBatcher",
+    "ServedBatch",
     "ServingReport",
     "poisson_arrivals",
     "ServeBenchConfig",
     "run_serve_bench",
+    "QueryCache",
+    "query_cache_key",
+    "ClusterReport",
+    "ClusterRuntime",
+    "RequestTrace",
+    "ROUTERS",
+    "Router",
+    "RoundRobinRouter",
+    "LeastOutstandingRouter",
+    "PowerOfTwoChoicesRouter",
+    "make_router",
     "EngineShard",
     "ShardedEngine",
     "ShardedResult",

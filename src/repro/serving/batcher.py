@@ -13,31 +13,60 @@ a deterministic event simulation — no wall clock, no threads:
   (``query_batch(...).seconds``), so shard makespans, host overhead and
   design choice all flow into the latency distribution.
 
+The dispatch rule itself lives in :class:`BatchQueue`, a *causal* per-board
+state machine: requests are pushed in arrival order and the queue names the
+time its next batch leaves assuming no further arrival lands first.  The
+single-board :class:`MicroBatcher` drives one queue; the cluster runtime
+(:mod:`repro.serving.cluster`) drives one per replica inside a global
+event loop — same rule, same numbers, one implementation.
+
 The resulting :class:`ServingReport` carries per-request latencies and the
-derived p50/p99/QPS — the numbers a capacity planner actually wants.
+derived p50/p99/QPS — the numbers a capacity planner actually wants — and
+persists via :meth:`ServingReport.save`/:meth:`ServingReport.load` so bench
+results stay replayable.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.reference import TopKResult
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FormatError
+from repro.formats.io import load_artifact, save_artifact
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive_int
 
-__all__ = ["poisson_arrivals", "ServedBatch", "ServingReport", "MicroBatcher"]
+__all__ = [
+    "poisson_arrivals",
+    "BatchQueue",
+    "ServedBatch",
+    "ServingReport",
+    "MicroBatcher",
+]
+
+#: Artifact ``kind`` tag of a persisted :class:`ServingReport`.
+REPORT_KIND = "serving-report"
 
 
 def poisson_arrivals(
     n: int, rate_qps: float, rng: "int | np.random.Generator | None" = None
 ) -> np.ndarray:
-    """Arrival times (seconds, ascending from 0) of a Poisson query stream."""
+    """Arrival times (seconds, ascending from 0) of a Poisson query stream.
+
+    The stream is anchored at its own clock origin: the first arrival is
+    shifted to exactly ``0.0`` and every later arrival keeps its exponential
+    gap to the previous one.  Consequently ``poisson_arrivals(1, rate)`` is
+    always ``[0.0]`` regardless of ``rate`` — one request defines the origin
+    and there are no gaps left to draw.
+    """
     n = check_positive_int(n, "n")
-    if rate_qps <= 0:
-        raise ConfigurationError(f"rate_qps must be > 0, got {rate_qps}")
+    if not np.isfinite(rate_qps) or rate_qps <= 0:
+        raise ConfigurationError(
+            f"rate_qps must be a finite value > 0, got {rate_qps}"
+        )
     gaps = derive_rng(rng).exponential(1.0 / rate_qps, size=n)
     arrivals = np.cumsum(gaps)
     return arrivals - arrivals[0]
@@ -58,6 +87,74 @@ class ServedBatch:
     @property
     def completion_s(self) -> float:
         return self.dispatch_s + self.service_s
+
+
+class BatchQueue:
+    """The micro-batching dispatch rule as a causal per-board state machine.
+
+    Requests are :meth:`push`-ed strictly in arrival order.  At any point,
+    :meth:`next_dispatch_s` names the time the next batch would leave *if no
+    further request arrived first*; callers must therefore only
+    :meth:`pop_batch` once every arrival at or before that time has been
+    pushed (arrivals win ties — a request landing exactly at the dispatch
+    instant joins the batch, matching the original array-based loop).  The
+    rule:
+
+    * never dispatch before the board is free (``t_free``) or before the
+      oldest queued request has arrived;
+    * a full batch (``max_batch_size`` queued) leaves as soon as board and
+      requests allow;
+    * otherwise the batch leaves when the oldest request's ``max_wait_s``
+      deadline expires (extended to the board-free time when busy), taking
+      everything queued by then.
+
+    The queue never looks ahead: decisions depend only on requests already
+    pushed and on the board-free time, which is what lets a cluster-level
+    event loop interleave many queues deterministically.
+    """
+
+    def __init__(self, max_batch_size: int = 16, max_wait_s: float = 2e-3):
+        self.max_batch_size = check_positive_int(max_batch_size, "max_batch_size")
+        if max_wait_s < 0:
+            raise ConfigurationError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.max_wait_s = float(max_wait_s)
+        #: Board-free time; the owner advances it to each batch's completion.
+        self.t_free = 0.0
+        self._pending: "deque[tuple[int, float]]" = deque()
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for dispatch (excludes any batch in service)."""
+        return len(self._pending)
+
+    def push(self, request_id: int, arrival_s: float) -> None:
+        """Enqueue one request; arrivals must be pushed in time order."""
+        if self._pending and arrival_s < self._pending[-1][1]:
+            raise ConfigurationError(
+                f"arrivals must be pushed in time order: {arrival_s} after "
+                f"{self._pending[-1][1]}"
+            )
+        self._pending.append((int(request_id), float(arrival_s)))
+
+    def next_dispatch_s(self) -> "float | None":
+        """When the next batch leaves, barring earlier arrivals; None if idle."""
+        if not self._pending:
+            return None
+        head_s = self._pending[0][1]
+        earliest = max(head_s, self.t_free)
+        deadline = max(head_s + self.max_wait_s, earliest)
+        if len(self._pending) >= self.max_batch_size:
+            fill = max(self._pending[self.max_batch_size - 1][1], earliest)
+            return min(fill, deadline)
+        return deadline
+
+    def pop_batch(self) -> "tuple[float, list[tuple[int, float]]]":
+        """Remove the next batch; returns (dispatch time, [(id, arrival)])."""
+        dispatch = self.next_dispatch_s()
+        if dispatch is None:
+            raise ConfigurationError("cannot pop a batch from an empty queue")
+        size = min(len(self._pending), self.max_batch_size)
+        return dispatch, [self._pending.popleft() for _ in range(size)]
 
 
 @dataclass(frozen=True)
@@ -85,14 +182,20 @@ class ServingReport:
 
     @property
     def p50_latency_s(self) -> float:
+        if self.n_queries == 0:
+            return 0.0
         return float(np.percentile(self.latencies_s, 50))
 
     @property
     def p99_latency_s(self) -> float:
+        if self.n_queries == 0:
+            return 0.0
         return float(np.percentile(self.latencies_s, 99))
 
     @property
     def mean_latency_s(self) -> float:
+        if self.n_queries == 0:
+            return 0.0
         return float(np.mean(self.latencies_s))
 
     @property
@@ -130,6 +233,77 @@ class ServingReport:
                 f"energy {self.energy_j:.3f} J",
             ]
         )
+
+    # ------------------------------------------------------------------ #
+    # Persistence — bench results must be replayable
+    # ------------------------------------------------------------------ #
+    def _payload_arrays(self) -> "dict[str, np.ndarray]":
+        sizes = np.array([b.size for b in self.batches], dtype=np.int64)
+        return {
+            "latencies_s": np.asarray(self.latencies_s, dtype=np.float64),
+            "batch_offsets": np.concatenate(
+                [[0], np.cumsum(sizes, dtype=np.int64)]
+            ).astype(np.int64),
+            "batch_indices": np.array(
+                [i for b in self.batches for i in b.indices], dtype=np.int64
+            ),
+            "batch_dispatch_s": np.array(
+                [b.dispatch_s for b in self.batches], dtype=np.float64
+            ),
+            "batch_service_s": np.array(
+                [b.service_s for b in self.batches], dtype=np.float64
+            ),
+            "totals": np.array([self.span_s, self.energy_j], dtype=np.float64),
+        }
+
+    def _artifact_kind(self) -> str:
+        """Artifact ``kind`` tag; subclasses persist under their own kind so
+        a round trip can never silently drop their extra fields."""
+        return REPORT_KIND
+
+    def _artifact_header(self) -> dict:
+        return {"n_queries": self.n_queries, "n_batches": self.n_batches}
+
+    def save(self, path) -> str:
+        """Persist the report (per-request latency trace included) as one
+        digest-protected ``.npz`` artifact; returns the content digest."""
+        return save_artifact(
+            path, self._artifact_kind(), self._artifact_header(),
+            self._payload_arrays(),
+        )
+
+    @staticmethod
+    def _batches_from_arrays(arrays) -> "tuple[ServedBatch, ...]":
+        offsets = arrays["batch_offsets"]
+        indices = arrays["batch_indices"]
+        return tuple(
+            ServedBatch(
+                indices=tuple(
+                    int(i) for i in indices[offsets[b] : offsets[b + 1]]
+                ),
+                dispatch_s=float(arrays["batch_dispatch_s"][b]),
+                service_s=float(arrays["batch_service_s"][b]),
+            )
+            for b in range(len(offsets) - 1)
+        )
+
+    @classmethod
+    def load(cls, path, verify: bool = True) -> "ServingReport":
+        """Reload a report saved by :meth:`save` — floats come back bit-for-bit."""
+        header, arrays = load_artifact(path, REPORT_KIND, verify=verify)
+        try:
+            batches = cls._batches_from_arrays(arrays)
+            span_s, energy_j = arrays["totals"]
+            return cls(
+                latencies_s=arrays["latencies_s"],
+                batches=batches,
+                span_s=float(span_s),
+                energy_j=float(energy_j),
+            )
+        except (KeyError, IndexError, ValueError) as exc:
+            raise FormatError(
+                f"{path} has an incomplete serving-report buffer set"
+            ) from exc
 
 
 class MicroBatcher:
@@ -172,40 +346,32 @@ class MicroBatcher:
         latencies = np.zeros(n)
         batches: list[ServedBatch] = []
         energy = 0.0
-        t_free = 0.0
+        queue = BatchQueue(self.max_batch_size, self.max_wait_s)
         i = 0
-        while i < n:
-            head = arrivals[i]
-            earliest = max(head, t_free)
-            deadline = head + self.max_wait_s
-            j_full = i + self.max_batch_size - 1
-            if j_full < n and arrivals[j_full] <= max(deadline, earliest):
-                # The batch fills before the oldest request's deadline (or
-                # while the board is still busy): dispatch on fill.
-                dispatch = max(arrivals[j_full], earliest)
-                size = self.max_batch_size
-            else:
-                # Deadline expires first: take whatever has arrived by then
-                # (including requests that landed while the board was busy).
-                dispatch = max(deadline, earliest)
-                size = int(np.searchsorted(arrivals, dispatch, side="right")) - i
-                size = max(1, min(size, self.max_batch_size))
-            members = order[i : i + size]
-            served = self.engine.query_batch(queries[members], top_k)
+        while i < n or queue.queued:
+            dispatch = queue.next_dispatch_s()
+            if i < n and (dispatch is None or arrivals[i] <= dispatch):
+                # Arrivals win ties: a request landing exactly at the
+                # dispatch instant still joins the departing batch.
+                queue.push(int(order[i]), float(arrivals[i]))
+                i += 1
+                continue
+            dispatch, members = queue.pop_batch()
+            ids = [rid for rid, _ in members]
+            served = self.engine.query_batch(queries[ids], top_k)
             completion = dispatch + served.seconds
-            for pos, member in enumerate(members):
-                results[int(member)] = served.topk[pos]
-                latencies[int(member)] = completion - arrivals[i + pos]
+            queue.t_free = completion
+            for pos, (rid, arrival) in enumerate(members):
+                results[rid] = served.topk[pos]
+                latencies[rid] = completion - arrival
             batches.append(
                 ServedBatch(
-                    indices=tuple(int(m) for m in members),
+                    indices=tuple(ids),
                     dispatch_s=float(dispatch),
                     service_s=float(served.seconds),
                 )
             )
             energy += served.energy_j
-            t_free = completion
-            i += size
 
         span = float(batches[-1].completion_s - arrivals[0])
         report = ServingReport(

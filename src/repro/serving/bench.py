@@ -3,9 +3,13 @@
 Builds a synthetic embedding collection, shards it across simulated boards,
 drives a Poisson query stream through the micro-batcher and reports the
 latency distribution, throughput and a sanity recall@K against the exact
-float64 reference.  The CLI (``python -m repro serve-bench``) prints the
-rendered report and can dump the raw numbers as JSON so successive PRs can
-track the serving trajectory.
+float64 reference.  With ``--replicas``/``--router``/``--cache-size`` the
+stream instead runs through the full cluster tier
+(:class:`~repro.serving.cluster.ClusterRuntime`): N replica fleets built
+from one shared compiled collection behind routing, an exact-result cache
+and bounded-queue admission control.  The CLI
+(``python -m repro serve-bench``) prints the rendered report and can dump
+the raw numbers as JSON so successive PRs can track the serving trajectory.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import numpy as np
 from repro.data.synthetic import synthetic_embeddings
 from repro.hw.design import design_by_name
 from repro.serving.batcher import MicroBatcher, poisson_arrivals
+from repro.serving.cluster import ClusterRuntime
 from repro.serving.sharded import ShardedEngine
 from repro.utils.rng import derive_rng, sample_unit_queries
 
@@ -35,6 +40,11 @@ class ServeBenchConfig:
     combining it with ``cores_per_shard`` re-partitions every row slice
     across each board's own cores, which necessarily re-encodes per shard —
     only aligned mode (the default) serves the artifact's buffers as-is.
+
+    ``replicas``/``router``/``cache_size``/``queue_capacity`` engage the
+    cluster tier (see :func:`_cluster_mode`): every replica is one sharded
+    fleet over the *same* compiled collection, so replication multiplies
+    capacity without duplicating the build.
     """
 
     rows: int = 20_000
@@ -48,9 +58,13 @@ class ServeBenchConfig:
     top_k: int = 10
     max_batch_size: int = 16
     max_wait_ms: float = 2.0
-    rate_qps: "float | None" = None  # None: ~80% of one board's scan rate
+    rate_qps: "float | None" = None  # None: ~80% of the fleet's scan rate
     seed: int = 0
     recall_queries: int = 16
+    replicas: int = 1
+    router: str = "round-robin"
+    cache_size: int = 0
+    queue_capacity: "int | None" = None
     extra: dict = field(default_factory=dict)
 
     def quick(self) -> "ServeBenchConfig":
@@ -58,6 +72,16 @@ class ServeBenchConfig:
         from dataclasses import replace
 
         return replace(self, rows=4000, n_queries=64, recall_queries=8)
+
+
+def _cluster_mode(config: ServeBenchConfig) -> bool:
+    """Whether the run engages the cluster tier above the micro-batcher."""
+    return (
+        config.replicas > 1
+        or config.cache_size > 0
+        or config.queue_capacity is not None
+        or config.router != "round-robin"
+    )
 
 
 def _recall_at_k(engine: ShardedEngine, queries: np.ndarray, top_k: int) -> float:
@@ -70,63 +94,94 @@ def _recall_at_k(engine: ShardedEngine, queries: np.ndarray, top_k: int) -> floa
     return hits / (len(queries) * top_k)
 
 
-def run_serve_bench(config: ServeBenchConfig) -> tuple[str, dict]:
-    """Run the serving simulation; returns (rendered report, JSON payload)."""
-    rng = derive_rng(config.seed)
-    if config.collection is not None:
-        from repro.core.collection import CompiledCollection
+def _build_collection(config: ServeBenchConfig):
+    """Resolve the compiled collection the fleet(s) serve, plus labels."""
+    from repro.core.collection import CompiledCollection, compile_collection
+    from repro.hw.design import PAPER_DESIGNS
 
+    if config.collection is not None:
         compiled = CompiledCollection.load(config.collection)
-        engine = ShardedEngine(
-            compiled,
-            n_shards=config.n_shards,
-            cores_per_shard=config.cores_per_shard,
-        )
-        n_cols = compiled.n_cols
         # Report the short design key ('20b') when the artifact's design is a
         # paper design point, so payloads group with synthetic-mode runs.
-        from repro.hw.design import PAPER_DESIGNS
-
         design_name = next(
             (k for k, v in PAPER_DESIGNS.items() if v.name == compiled.design.name),
             compiled.design.name,
         )
-    else:
-        matrix = synthetic_embeddings(
-            n_rows=config.rows,
-            n_cols=config.cols,
-            avg_nnz=config.avg_nnz,
-            distribution="uniform",
-            seed=config.seed,
+        return compiled, design_name
+    matrix = synthetic_embeddings(
+        n_rows=config.rows,
+        n_cols=config.cols,
+        avg_nnz=config.avg_nnz,
+        distribution="uniform",
+        seed=config.seed,
+    )
+    compiled = compile_collection(matrix, design_by_name(config.design))
+    return compiled, config.design
+
+
+def run_serve_bench(config: ServeBenchConfig) -> tuple[str, dict]:
+    """Run the serving simulation; returns (rendered report, JSON payload)."""
+    from repro.errors import ConfigurationError
+    from repro.utils.validation import check_positive_int
+
+    # Validate the cluster knobs up front: the non-cluster fallback path
+    # must not silently ignore a bad --replicas/--cache-size, and a zero
+    # replica count must not surface later as a cryptic rate error.
+    check_positive_int(config.replicas, "replicas")
+    if config.cache_size < 0:
+        raise ConfigurationError(
+            f"cache_size must be >= 0, got {config.cache_size}"
         )
-        engine = ShardedEngine(
-            matrix,
+    rng = derive_rng(config.seed)
+    compiled, design_name = _build_collection(config)
+    n_cols = compiled.n_cols
+
+    def make_fleet() -> ShardedEngine:
+        return ShardedEngine(
+            compiled,
             n_shards=config.n_shards,
-            design=design_by_name(config.design),
             cores_per_shard=config.cores_per_shard,
         )
-        n_cols = config.cols
-        design_name = config.design
+
+    engine = make_fleet()
     queries = sample_unit_queries(rng, config.n_queries, n_cols)
-    # Built before the arrival process so batcher parameters are validated
-    # first (a zero batch size must not surface as a rate error).
-    batcher = MicroBatcher(
-        engine,
-        max_batch_size=config.max_batch_size,
-        max_wait_s=config.max_wait_ms * 1e-3,
-    )
+    cluster = _cluster_mode(config)
+    # The frontend is built before the arrival process so batcher/cluster
+    # parameters are validated first (a zero batch size must not surface as
+    # a rate error).
+    if cluster:
+        replicas = [engine] + [make_fleet() for _ in range(config.replicas - 1)]
+        runtime = ClusterRuntime(
+            replicas,
+            router=config.router,
+            cache_size=config.cache_size or None,
+            max_batch_size=config.max_batch_size,
+            max_wait_s=config.max_wait_ms * 1e-3,
+            queue_capacity=config.queue_capacity,
+            router_seed=config.seed,
+        )
+    else:
+        batcher = MicroBatcher(
+            engine,
+            max_batch_size=config.max_batch_size,
+            max_wait_s=config.max_wait_ms * 1e-3,
+        )
     rate = config.rate_qps
     if rate is None:
-        # Offered load at ~80% of the fleet's *batch-amortised* capacity
-        # (full batches of max_batch_size, one host invocation each) so the
-        # queue stays stable but batching has something to coalesce.
+        # Offered load at ~80% of the deployment's *batch-amortised*
+        # capacity (full batches of max_batch_size, one host invocation
+        # each, summed over replicas) so queues stay stable but batching
+        # has something to coalesce.
         full_batch_s = (
             config.max_batch_size * engine.makespan_s
             + engine.constants.host_overhead_s
         )
-        rate = 0.8 * config.max_batch_size / full_batch_s
+        rate = 0.8 * config.replicas * config.max_batch_size / full_batch_s
     arrivals = poisson_arrivals(config.n_queries, rate, rng)
-    _, report = batcher.run(queries, arrivals, top_k=config.top_k)
+    if cluster:
+        _, report = runtime.run(queries, arrivals, top_k=config.top_k)
+    else:
+        _, report = batcher.run(queries, arrivals, top_k=config.top_k)
     recall = _recall_at_k(
         engine, queries[: config.recall_queries], config.top_k
     )
@@ -150,25 +205,36 @@ def run_serve_bench(config: ServeBenchConfig) -> tuple[str, dict]:
             "max_wait_ms": config.max_wait_ms,
             "offered_rate_qps": rate,
             "seed": config.seed,
+            "replicas": config.replicas,
+            "router": config.router,
+            "cache_size": config.cache_size,
+            "queue_capacity": config.queue_capacity,
         },
         "report": report.to_dict(),
         "recall_at_k": recall,
         "fleet": {
             "latency_ms": engine.latency_s * 1e3,
-            "power_w": engine.total_power_w,
+            "power_w": engine.total_power_w * (config.replicas if cluster else 1),
             "shard_makespans_ms": [
                 s.timing.makespan_s * 1e3 for s in engine.shards
             ],
         },
     }
+    frontend = (
+        f"cluster: {config.replicas} replicas, {config.router} router, "
+        f"cache {config.cache_size or 'off'}, "
+        f"queue capacity {config.queue_capacity or 'unbounded'}"
+        if cluster
+        else f"batcher: max {config.max_batch_size} / "
+        f"{config.max_wait_ms:.1f} ms deadline"
+    )
     text = "\n".join(
         [
             "# serve-bench — sharded batch serving simulation",
             "",
             engine.describe(),
             "",
-            f"offered load: {rate:.1f} QPS (Poisson), "
-            f"batcher: max {config.max_batch_size} / {config.max_wait_ms:.1f} ms deadline",
+            f"offered load: {rate:.1f} QPS (Poisson), {frontend}",
             report.render(),
             f"recall@{config.top_k} vs exact float64: {recall:.3f} "
             f"(over {config.recall_queries} queries)",

@@ -1,0 +1,108 @@
+"""Exact-result LRU cache for Top-K queries.
+
+Embedding-similarity traffic is heavy-tailed: trending queries repeat, and a
+repeated query against an *immutable* compiled collection must produce the
+exact same Top-K — so the frontend can answer it from memory without
+touching a board, and the answer is **bit-identical** to what the engine
+would have returned.
+
+The key makes that safe:
+
+``(collection digest, quantised query bytes, K)``
+
+* the collection digest pins the exact artifact (any rebuild, re-quantise
+  or edit changes it — see :class:`repro.core.collection.CompiledCollection`);
+* the query is keyed *after* design quantisation
+  (:meth:`~repro.hw.design.AcceleratorDesign.quantize_query`), the form the
+  hardware actually sees — two float queries that quantise to the same URAM
+  vector are guaranteed the same engine result, so they share one entry;
+* ``K`` because the merged result depends on it.
+
+Eviction is LRU over *uses* (a hit refreshes recency).  The cache never
+stores misses and is deliberately tiny in code: correctness comes from the
+key, not from invalidation logic — an immutable artifact has nothing to
+invalidate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.reference import TopKResult
+from repro.utils.validation import check_positive_int
+
+__all__ = ["QueryCache", "query_cache_key"]
+
+
+def query_cache_key(
+    digest: str, quantised_query: np.ndarray, top_k: int
+) -> "tuple[str, str, bytes, int]":
+    """The exactness-safe cache key (see module docstring).
+
+    The quantised query's dtype participates so two designs whose quantised
+    vectors happen to share raw bytes under different dtypes cannot collide
+    (belt and braces — the digest already separates designs).
+    """
+    q = np.ascontiguousarray(quantised_query)
+    return (str(digest), str(q.dtype), q.tobytes(), int(top_k))
+
+
+class QueryCache:
+    """Bounded LRU mapping quantised queries to exact :class:`TopKResult`\\ s."""
+
+    def __init__(self, capacity: int):
+        self.capacity = check_positive_int(capacity, "capacity")
+        self._store: "OrderedDict[tuple, TopKResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.insertions = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def lookups(self) -> int:
+        """Total get() calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def get(self, key) -> "TopKResult | None":
+        """The cached exact result, refreshing recency; None on miss."""
+        result = self._store.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def put(self, key, result: TopKResult) -> None:
+        """Insert (or refresh) one exact result, evicting the LRU entry."""
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = result
+        self.insertions += 1
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        """JSON-ready counters."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+        }

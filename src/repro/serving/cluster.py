@@ -1,0 +1,683 @@
+"""Cluster serving runtime: N replicas, routed, cached, admission-controlled.
+
+One board (:class:`~repro.core.engine.TopKSpmvEngine`) or one sharded fleet
+(:class:`~repro.serving.sharded.ShardedEngine`) saturates; the next scaling
+axis is *replication*: several identical engines built from one shared
+:class:`~repro.core.collection.CompiledCollection`, fronted by a load
+balancer.  :class:`ClusterRuntime` models that tier as a deterministic
+discrete-event simulation — no wall clock, no threads, no randomness beyond
+the seeds you pass — which is what makes every behaviour exactly replayable
+and therefore testable down to float bits.
+
+Per arriving request, in simulated-time order:
+
+1. **Cache** — an optional exact-result LRU
+   (:class:`~repro.serving.cache.QueryCache`) keyed on
+   ``(collection digest, quantised query, K)``.  A hit completes the request
+   instantly with a result bit-identical to what the engines produce;
+   results enter the cache only at their batch's *completion* time, so a
+   duplicate arriving while the first copy is still in flight is honestly a
+   miss.
+2. **Routing** — a pluggable policy (:mod:`repro.serving.router`) picks a
+   replica from the per-replica outstanding counts: round-robin,
+   least-outstanding, or power-of-two-choices.
+3. **Admission** — each replica's waiting room is a bounded
+   :class:`~repro.serving.batcher.BatchQueue`; a request routed to a full
+   queue is *rejected* and accounted, never silently dropped.
+
+Each replica then runs exactly the single-board micro-batching dispatch
+rule (full-or-deadline, never before the board frees) via its own
+``BatchQueue`` — a 1-replica cluster reproduces
+:class:`~repro.serving.batcher.MicroBatcher` number-for-number.  The run
+returns per-request results plus a :class:`ClusterReport`: the standard
+:class:`~repro.serving.batcher.ServingReport` metrics cluster-wide and per
+replica, reject accounting, cache counters, and a per-request
+:class:`RequestTrace` — the object the deterministic-replay tests compare.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.reference import TopKResult
+from repro.errors import ConfigurationError, FormatError
+from repro.formats.io import load_artifact
+from repro.serving.batcher import BatchQueue, ServedBatch, ServingReport
+from repro.serving.cache import QueryCache, query_cache_key
+from repro.serving.router import Router, make_router
+from repro.utils.validation import check_positive_int
+
+__all__ = ["RequestTrace", "ClusterReport", "ClusterRuntime"]
+
+#: ``RequestTrace.status`` values.
+SERVED = "served"
+CACHE_HIT = "cache-hit"
+REJECTED = "rejected"
+
+#: Artifact ``kind`` tag of a persisted :class:`ClusterReport` (distinct
+#: from the base report's so a round trip can never drop the cluster tier).
+CLUSTER_REPORT_KIND = "cluster-report"
+
+_STATUS_CODES = {SERVED: 0, CACHE_HIT: 1, REJECTED: 2}
+_STATUS_NAMES = {code: name for name, code in _STATUS_CODES.items()}
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """What happened to one request, in full (the replay-test currency).
+
+    ``replica`` is the replica the router chose (also set for rejected
+    requests — the reject is accounted against it) and ``-1`` for cache
+    hits, which never reach the routing tier.  ``dispatch_s``,
+    ``completion_s`` and ``latency_s`` are ``None`` for rejected requests;
+    cache hits complete instantly (``latency_s == 0.0``).
+    """
+
+    request_id: int
+    arrival_s: float
+    status: str
+    replica: int
+    dispatch_s: "float | None"
+    completion_s: "float | None"
+    latency_s: "float | None"
+
+
+@dataclass(frozen=True)
+class ClusterReport(ServingReport):
+    """A :class:`ServingReport` extended with cluster-tier accounting.
+
+    The inherited fields aggregate cluster-wide: ``latencies_s`` covers
+    every *completed* request (engine-served and cache hits, in request
+    order), ``batches`` is every replica's batches in dispatch order, and
+    ``span_s``/``energy_j`` cover the whole fleet.
+    """
+
+    replica_reports: "tuple[ServingReport, ...]" = ()
+    routed_per_replica: "tuple[int, ...]" = ()
+    rejected_per_replica: "tuple[int, ...]" = ()
+    n_cache_hits: int = 0
+    cache_stats: "dict | None" = None
+    trace: "tuple[RequestTrace, ...]" = ()
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replica_reports)
+
+    @property
+    def n_offered(self) -> int:
+        """Every request that arrived, completed or not."""
+        return len(self.trace)
+
+    @property
+    def n_rejected(self) -> int:
+        return sum(self.rejected_per_replica)
+
+    @property
+    def n_served(self) -> int:
+        """Requests served by an engine (completions minus cache hits)."""
+        return self.n_queries - self.n_cache_hits
+
+    @property
+    def reject_rate(self) -> float:
+        """Rejected over offered (0.0 for an empty run)."""
+        if not self.n_offered:
+            return 0.0
+        return self.n_rejected / self.n_offered
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits over offered requests (0.0 with the cache disabled)."""
+        if not self.n_offered:
+            return 0.0
+        return self.n_cache_hits / self.n_offered
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary: the base report plus a ``cluster`` section."""
+        payload = super().to_dict()
+        replicas = []
+        for r, report in enumerate(self.replica_reports):
+            entry = report.to_dict()
+            entry["routed"] = self.routed_per_replica[r]
+            entry["rejected"] = self.rejected_per_replica[r]
+            entry["reject_rate"] = (
+                self.rejected_per_replica[r] / self.routed_per_replica[r]
+                if self.routed_per_replica[r]
+                else 0.0
+            )
+            replicas.append(entry)
+        payload["cluster"] = {
+            "n_replicas": self.n_replicas,
+            "n_offered": self.n_offered,
+            "n_served": self.n_served,
+            "n_rejected": self.n_rejected,
+            "reject_rate": self.reject_rate,
+            "n_cache_hits": self.n_cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache": self.cache_stats,
+            "replicas": replicas,
+        }
+        return payload
+
+    def render(self) -> str:
+        """Human-readable block: base metrics plus the cluster tier."""
+        lines = [super().render()]
+        lines.append(
+            f"cluster: {self.n_offered} offered | {self.n_served} engine-served "
+            f"| {self.n_cache_hits} cache hits | {self.n_rejected} rejected "
+            f"({self.reject_rate:.1%})"
+        )
+        for r, report in enumerate(self.replica_reports):
+            lines.append(
+                f"  replica {r}: {report.n_queries} served in "
+                f"{report.n_batches} batches, p50 "
+                f"{report.p50_latency_s * 1e3:.3f} ms | p99 "
+                f"{report.p99_latency_s * 1e3:.3f} ms | "
+                f"{report.qps:.1f} QPS | {self.rejected_per_replica[r]} rejected"
+            )
+        if self.cache_stats is not None:
+            lines.append(
+                f"cache: {self.cache_stats['hits']} hits / "
+                f"{self.cache_stats['lookups']} lookups "
+                f"({self.cache_hit_rate:.1%} of offered), "
+                f"{self.cache_stats['entries']}/{self.cache_stats['capacity']} "
+                f"entries, {self.cache_stats['evictions']} evictions"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Persistence — the cluster tier round-trips too, under its own kind
+    # ------------------------------------------------------------------ #
+    def _artifact_kind(self) -> str:
+        return CLUSTER_REPORT_KIND
+
+    def _artifact_header(self) -> dict:
+        header = super()._artifact_header()
+        header["n_cache_hits"] = self.n_cache_hits
+        # JSON round-trips Python floats exactly (shortest-repr), so the
+        # cache counters stay bit-identical through the header.
+        header["cache_stats"] = self.cache_stats
+        return header
+
+    def _payload_arrays(self) -> "dict[str, np.ndarray]":
+        arrays = super()._payload_arrays()
+        # Which replica ran each cluster-wide batch (dispatch order): the
+        # per-replica reports are reconstructed from this plus the trace.
+        batch_replica = np.full(len(self.batches), -1, dtype=np.int64)
+        # Each request is served at most once, so batches are unique by
+        # their member set and value-keying is unambiguous.
+        position = {b: i for i, b in enumerate(self.batches)}
+        for r, report in enumerate(self.replica_reports):
+            for batch in report.batches:
+                batch_replica[position[batch]] = r
+        nan = float("nan")
+        arrays.update(
+            {
+                "batch_replica": batch_replica,
+                "routed_per_replica": np.array(
+                    self.routed_per_replica, dtype=np.int64
+                ),
+                "rejected_per_replica": np.array(
+                    self.rejected_per_replica, dtype=np.int64
+                ),
+                "replica_span_s": np.array(
+                    [r.span_s for r in self.replica_reports], dtype=np.float64
+                ),
+                "replica_energy_j": np.array(
+                    [r.energy_j for r in self.replica_reports], dtype=np.float64
+                ),
+                "trace_arrival_s": np.array(
+                    [t.arrival_s for t in self.trace], dtype=np.float64
+                ),
+                "trace_status": np.array(
+                    [_STATUS_CODES[t.status] for t in self.trace], dtype=np.int8
+                ),
+                "trace_replica": np.array(
+                    [t.replica for t in self.trace], dtype=np.int64
+                ),
+                "trace_dispatch_s": np.array(
+                    [nan if t.dispatch_s is None else t.dispatch_s
+                     for t in self.trace],
+                    dtype=np.float64,
+                ),
+                "trace_completion_s": np.array(
+                    [nan if t.completion_s is None else t.completion_s
+                     for t in self.trace],
+                    dtype=np.float64,
+                ),
+                "trace_latency_s": np.array(
+                    [nan if t.latency_s is None else t.latency_s
+                     for t in self.trace],
+                    dtype=np.float64,
+                ),
+            }
+        )
+        return arrays
+
+    @classmethod
+    def load(cls, path, verify: bool = True) -> "ClusterReport":
+        """Reload a cluster report saved by :meth:`save` — every tier
+        (per-replica reports, reject accounting, cache counters, trace)
+        comes back bit-for-bit."""
+        header, arrays = load_artifact(path, CLUSTER_REPORT_KIND, verify=verify)
+        try:
+            batches = cls._batches_from_arrays(arrays)
+            span_s, energy_j = arrays["totals"]
+            trace = tuple(
+                RequestTrace(
+                    request_id=rid,
+                    arrival_s=float(arrays["trace_arrival_s"][rid]),
+                    status=_STATUS_NAMES[int(arrays["trace_status"][rid])],
+                    replica=int(arrays["trace_replica"][rid]),
+                    dispatch_s=cls._none_if_rejected(
+                        arrays["trace_dispatch_s"][rid],
+                        arrays["trace_status"][rid],
+                    ),
+                    completion_s=cls._none_if_rejected(
+                        arrays["trace_completion_s"][rid],
+                        arrays["trace_status"][rid],
+                    ),
+                    latency_s=cls._none_if_rejected(
+                        arrays["trace_latency_s"][rid],
+                        arrays["trace_status"][rid],
+                    ),
+                )
+                for rid in range(len(arrays["trace_status"]))
+            )
+            batch_replica = arrays["batch_replica"]
+            n_replicas = len(arrays["routed_per_replica"])
+            replica_reports = []
+            for r in range(n_replicas):
+                own = [
+                    b for b, br in zip(batches, batch_replica) if int(br) == r
+                ]
+                # Per-replica latencies replay in the original accumulation
+                # order: batch by batch (dispatch order), member by member.
+                own_latencies = np.array(
+                    [
+                        float(arrays["trace_latency_s"][rid])
+                        for b in own
+                        for rid in b.indices
+                    ],
+                    dtype=np.float64,
+                )
+                replica_reports.append(
+                    ServingReport(
+                        latencies_s=own_latencies,
+                        batches=tuple(own),
+                        span_s=float(arrays["replica_span_s"][r]),
+                        energy_j=float(arrays["replica_energy_j"][r]),
+                    )
+                )
+            return cls(
+                latencies_s=arrays["latencies_s"],
+                batches=batches,
+                span_s=float(span_s),
+                energy_j=float(energy_j),
+                replica_reports=tuple(replica_reports),
+                routed_per_replica=tuple(
+                    int(v) for v in arrays["routed_per_replica"]
+                ),
+                rejected_per_replica=tuple(
+                    int(v) for v in arrays["rejected_per_replica"]
+                ),
+                n_cache_hits=int(header["n_cache_hits"]),
+                cache_stats=header["cache_stats"],
+                trace=trace,
+            )
+        except (KeyError, IndexError, ValueError) as exc:
+            raise FormatError(
+                f"{path} has an incomplete cluster-report buffer set"
+            ) from exc
+
+    @staticmethod
+    def _none_if_rejected(value, status_code) -> "float | None":
+        return None if int(status_code) == _STATUS_CODES[REJECTED] else float(value)
+
+
+@dataclass
+class _ReplicaState:
+    """Mutable per-replica bookkeeping of one run."""
+
+    queue: BatchQueue
+    outstanding: int = 0
+    routed: int = 0
+    rejected: int = 0
+    energy_j: float = 0.0
+    first_arrival_s: "float | None" = None
+    last_completion_s: float = 0.0
+    batches: "list[ServedBatch]" = field(default_factory=list)
+    latencies: "list[float]" = field(default_factory=list)
+
+
+class ClusterRuntime:
+    """Replicated serving of one collection behind routing + cache + admission.
+
+    Parameters
+    ----------
+    replicas:
+        Engines with ``query_batch(queries, top_k)`` (returning ``topk``,
+        ``seconds``, ``energy_j``) — :class:`~repro.core.engine.TopKSpmvEngine`
+        or :class:`~repro.serving.sharded.ShardedEngine`, typically all built
+        from one shared compiled collection.
+    router:
+        Policy name from :data:`repro.serving.router.ROUTERS` or a
+        :class:`~repro.serving.router.Router` instance; its state is reset
+        at the start of every run so runs replay exactly.
+    cache_size:
+        Capacity of the exact-result LRU; ``None``/``0`` disables caching.
+        A *fresh* cache is built per run (replay determinism); its counters
+        land in the report.  Requires every replica to serve the same
+        compiled collection (same digest) — the key depends on it.
+    max_batch_size, max_wait_s:
+        The per-replica micro-batching knobs, as for
+        :class:`~repro.serving.batcher.MicroBatcher`.
+    queue_capacity:
+        Admission bound: maximum requests *waiting* in one replica's queue
+        (the batch in service does not count).  A request routed to a full
+        replica is rejected.  ``None`` means unbounded (nothing rejected).
+    router_seed:
+        Seed for randomised routing policies (power-of-two choices).
+    """
+
+    def __init__(
+        self,
+        replicas,
+        router: "str | Router" = "round-robin",
+        cache_size: "int | None" = None,
+        max_batch_size: int = 16,
+        max_wait_s: float = 2e-3,
+        queue_capacity: "int | None" = None,
+        router_seed: int = 0,
+    ):
+        self.replicas = list(replicas)
+        if not self.replicas:
+            raise ConfigurationError("a cluster needs at least one replica")
+        for i, replica in enumerate(self.replicas):
+            if not callable(getattr(replica, "query_batch", None)):
+                raise ConfigurationError(
+                    f"replica {i} ({type(replica).__name__}) has no "
+                    "query_batch(queries, top_k) method"
+                )
+        widths = {r.matrix.n_cols for r in self.replicas}
+        if len(widths) != 1:
+            raise ConfigurationError(
+                f"replicas disagree on the embedding dimension: {sorted(widths)}"
+            )
+        self.n_cols = widths.pop()
+        self.router = make_router(router, seed=router_seed)
+        self.max_batch_size = check_positive_int(max_batch_size, "max_batch_size")
+        if max_wait_s < 0:
+            raise ConfigurationError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.max_wait_s = float(max_wait_s)
+        self.queue_capacity = (
+            None
+            if queue_capacity is None
+            else check_positive_int(queue_capacity, "queue_capacity")
+        )
+        self.cache_size = None if not cache_size else check_positive_int(
+            cache_size, "cache_size"
+        )
+        self._digest = None
+        if self.cache_size is not None:
+            digests = set()
+            for i, replica in enumerate(self.replicas):
+                collection = getattr(replica, "collection", None)
+                if collection is None:
+                    raise ConfigurationError(
+                        f"replica {i} has no compiled collection; the result "
+                        "cache needs the collection digest to key on"
+                    )
+                digests.add(collection.digest)
+            if len(digests) != 1:
+                raise ConfigurationError(
+                    "replicas serve different collections "
+                    f"({len(digests)} digests); the result cache requires one "
+                    "shared artifact"
+                )
+            self._digest = digests.pop()
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    def run(
+        self,
+        queries: np.ndarray,
+        arrival_times_s: np.ndarray,
+        top_k: int,
+    ) -> "tuple[list[TopKResult | None], ClusterReport]":
+        """Simulate serving the stream through the whole cluster tier.
+
+        Returns per-request results in input order (``None`` marks a
+        rejected request) and the :class:`ClusterReport`.  The simulation is
+        a pure function of its inputs and the runtime's configuration —
+        running it twice yields identical traces, which the property suite
+        asserts.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        arrivals = np.asarray(arrival_times_s, dtype=np.float64)
+        if arrivals.ndim != 1 or len(arrivals) != len(queries):
+            raise ConfigurationError(
+                f"need one arrival time per query: {len(queries)} queries, "
+                f"arrival shape {arrivals.shape}"
+            )
+        if len(queries) == 0:
+            raise ConfigurationError("cannot serve an empty query stream")
+        if queries.shape[1] != self.n_cols:
+            raise ConfigurationError(
+                f"queries must have shape (Q, {self.n_cols}), got {queries.shape}"
+            )
+        order = np.argsort(arrivals, kind="stable")
+        arrivals = arrivals[order]
+
+        n = len(queries)
+        self.router.reset()
+        cache = (
+            QueryCache(self.cache_size) if self.cache_size is not None else None
+        )
+        design = getattr(self.replicas[0], "design", None)
+        states = [
+            _ReplicaState(queue=BatchQueue(self.max_batch_size, self.max_wait_s))
+            for _ in self.replicas
+        ]
+        results: "list[TopKResult | None]" = [None] * n
+        traces: "list[RequestTrace | None]" = [None] * n
+        all_batches: "list[ServedBatch]" = []
+        latencies: "dict[int, float]" = {}
+        n_cache_hits = 0
+        # Completion events: (time, seq, replica, [(key, result), ...]).
+        # Drained strictly in time order before any arrival/dispatch at a
+        # later instant, so outstanding counts — and the cache — only ever
+        # see the past.
+        completions: list = []
+        seq = 0
+
+        def drain_completions(until_s: float) -> None:
+            while completions and completions[0][0] <= until_s:
+                _, _, replica, inserts = heapq.heappop(completions)
+                states[replica].outstanding -= len(inserts)
+                if cache is not None:
+                    for key, result in inserts:
+                        cache.put(key, result)
+
+        def next_dispatch() -> "tuple[float, int] | None":
+            best = None
+            best_replica = -1
+            for r, state in enumerate(states):
+                at = state.queue.next_dispatch_s()
+                if at is not None and (best is None or at < best):
+                    best, best_replica = at, r
+            return None if best is None else (best, best_replica)
+
+        def cache_key(rid: int):
+            quantised = (
+                design.quantize_query(queries[rid])
+                if design is not None
+                else queries[rid]
+            )
+            return query_cache_key(self._digest, quantised, top_k)
+
+        i = 0
+        while True:
+            arrival = arrivals[i] if i < n else None
+            dispatch = next_dispatch()
+            if arrival is None and dispatch is None:
+                break
+            # Arrivals win ties with dispatches at the same instant, exactly
+            # as in the single-board batcher: a request landing at the
+            # dispatch time joins the departing batch.
+            if dispatch is not None and (arrival is None or dispatch[0] < arrival):
+                dispatch_s, r = dispatch
+                drain_completions(dispatch_s)
+                self._dispatch(
+                    r, states[r], dispatch_s, queries, top_k, cache,
+                    cache_key, results, traces, latencies, all_batches,
+                    completions, seq,
+                )
+                seq += 1
+                continue
+            drain_completions(arrival)
+            rid = int(order[i])
+            i += 1
+            if cache is not None:
+                hit = cache.get(cache_key(rid))
+                if hit is not None:
+                    results[rid] = hit
+                    latencies[rid] = 0.0
+                    n_cache_hits += 1
+                    traces[rid] = RequestTrace(
+                        request_id=rid,
+                        arrival_s=float(arrival),
+                        status=CACHE_HIT,
+                        replica=-1,
+                        dispatch_s=float(arrival),
+                        completion_s=float(arrival),
+                        latency_s=0.0,
+                    )
+                    continue
+            replica = int(self.router.select([s.outstanding for s in states]))
+            if not 0 <= replica < self.n_replicas:
+                raise ConfigurationError(
+                    f"router {self.router.name!r} chose replica {replica} of "
+                    f"{self.n_replicas}"
+                )
+            state = states[replica]
+            state.routed += 1
+            if (
+                self.queue_capacity is not None
+                and state.queue.queued >= self.queue_capacity
+            ):
+                state.rejected += 1
+                traces[rid] = RequestTrace(
+                    request_id=rid,
+                    arrival_s=float(arrival),
+                    status=REJECTED,
+                    replica=replica,
+                    dispatch_s=None,
+                    completion_s=None,
+                    latency_s=None,
+                )
+                continue
+            if state.first_arrival_s is None:
+                state.first_arrival_s = float(arrival)
+            state.queue.push(rid, float(arrival))
+            state.outstanding += 1
+        drain_completions(float("inf"))
+
+        return self._build_report(
+            states, arrivals, results, traces, latencies, all_batches,
+            n_cache_hits, cache,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _dispatch(
+        self, r, state, dispatch_s, queries, top_k, cache, cache_key,
+        results, traces, latencies, all_batches, completions, seq,
+    ) -> None:
+        """Serve one batch on replica ``r`` at ``dispatch_s``."""
+        _, members = state.queue.pop_batch()
+        ids = [rid for rid, _ in members]
+        served = self.replicas[r].query_batch(queries[ids], top_k)
+        completion = dispatch_s + served.seconds
+        state.queue.t_free = completion
+        inserts = []
+        for pos, (rid, arrival) in enumerate(members):
+            results[rid] = served.topk[pos]
+            latency = completion - arrival
+            latencies[rid] = latency
+            state.latencies.append(latency)
+            traces[rid] = RequestTrace(
+                request_id=rid,
+                arrival_s=arrival,
+                status=SERVED,
+                replica=r,
+                dispatch_s=float(dispatch_s),
+                completion_s=float(completion),
+                latency_s=float(latency),
+            )
+            inserts.append(
+                (cache_key(rid) if cache is not None else None, served.topk[pos])
+            )
+        batch = ServedBatch(
+            indices=tuple(ids),
+            dispatch_s=float(dispatch_s),
+            service_s=float(served.seconds),
+        )
+        state.batches.append(batch)
+        all_batches.append(batch)
+        state.energy_j += served.energy_j
+        state.last_completion_s = completion
+        heapq.heappush(completions, (completion, seq, r, inserts))
+
+    def _build_report(
+        self, states, arrivals, results, traces, latencies, all_batches,
+        n_cache_hits, cache,
+    ) -> "tuple[list[TopKResult | None], ClusterReport]":
+        replica_reports = []
+        for state in states:
+            span = (
+                state.last_completion_s - state.first_arrival_s
+                if state.first_arrival_s is not None
+                else 0.0
+            )
+            replica_reports.append(
+                ServingReport(
+                    latencies_s=np.array(state.latencies, dtype=np.float64),
+                    batches=tuple(state.batches),
+                    span_s=float(span),
+                    energy_j=state.energy_j,
+                )
+            )
+        completed = np.array(
+            [latencies[rid] for rid in sorted(latencies)], dtype=np.float64
+        )
+        last_completion = max(
+            (
+                t.completion_s
+                for t in traces
+                if t is not None and t.completion_s is not None
+            ),
+            default=float(arrivals[0]),
+        )
+        cache_stats = None
+        if cache is not None:
+            cache_stats = cache.stats()
+            cache_stats["lookups"] = cache.lookups
+        report = ClusterReport(
+            latencies_s=completed,
+            batches=tuple(all_batches),
+            span_s=float(last_completion - arrivals[0]),
+            energy_j=sum(s.energy_j for s in states),
+            replica_reports=tuple(replica_reports),
+            routed_per_replica=tuple(s.routed for s in states),
+            rejected_per_replica=tuple(s.rejected for s in states),
+            n_cache_hits=n_cache_hits,
+            cache_stats=cache_stats,
+            trace=tuple(traces),
+        )
+        return results, report

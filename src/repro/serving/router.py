@@ -1,0 +1,127 @@
+"""Pluggable request-routing policies for the cluster runtime.
+
+A router decides, at each request's arrival instant, which replica receives
+it.  The only signal it sees is the per-replica *outstanding* count — the
+number of requests assigned to a replica that have not completed yet
+(queued plus in service) — which is exactly what a load balancer in front
+of N identical boards can observe without touching the data plane.
+
+Every policy is deterministic given its construction arguments:
+:class:`PowerOfTwoChoicesRouter` draws its probes from a seeded generator,
+and :meth:`Router.reset` rewinds any internal state, so the cluster
+simulation replays bit-for-bit from a seed.  Policies register in
+:data:`ROUTERS` under the names the ``serve-bench --router`` flag accepts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "Router",
+    "RoundRobinRouter",
+    "LeastOutstandingRouter",
+    "PowerOfTwoChoicesRouter",
+    "ROUTERS",
+    "make_router",
+]
+
+
+class Router:
+    """Base class: map per-replica outstanding counts to a replica id."""
+
+    #: Registry key; subclasses override.
+    name = "base"
+
+    def reset(self) -> None:
+        """Rewind internal state so the next run replays identically."""
+
+    def select(self, outstanding: "list[int]") -> int:
+        """Pick the replica (0-based) that receives the arriving request."""
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Cycle through replicas in id order, ignoring load entirely."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def select(self, outstanding: "list[int]") -> int:
+        chosen = self._next % len(outstanding)
+        self._next = chosen + 1
+        return chosen
+
+
+class LeastOutstandingRouter(Router):
+    """Send each request to the replica with the fewest outstanding requests.
+
+    Ties break to the lowest replica id, so the policy is deterministic and
+    a fleet of identical idle replicas fills in id order.
+    """
+
+    name = "least-outstanding"
+
+    def select(self, outstanding: "list[int]") -> int:
+        return int(np.argmin(outstanding))
+
+
+class PowerOfTwoChoicesRouter(Router):
+    """Probe two random replicas, pick the less loaded (ties: lower id).
+
+    The classic load-balancing result: sampling just two queues and taking
+    the shorter gets exponentially close to least-loaded routing without
+    global state.  Probes come from a generator derived from ``seed``, so
+    the same seed yields the same probe sequence run after run.
+    """
+
+    name = "power-of-two"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._rng = derive_rng(self.seed)
+
+    def reset(self) -> None:
+        self._rng = derive_rng(self.seed)
+
+    def select(self, outstanding: "list[int]") -> int:
+        n = len(outstanding)
+        if n == 1:
+            return 0
+        a, b = self._rng.choice(n, size=2, replace=False)
+        a, b = int(min(a, b)), int(max(a, b))
+        return b if outstanding[b] < outstanding[a] else a
+
+
+#: Name -> factory for every routing policy ``serve-bench --router`` accepts.
+ROUTERS = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    LeastOutstandingRouter.name: LeastOutstandingRouter,
+    PowerOfTwoChoicesRouter.name: PowerOfTwoChoicesRouter,
+}
+
+
+def make_router(policy: "str | Router", seed: int = 0) -> Router:
+    """Resolve a policy name (or pass a :class:`Router` through) to a router.
+
+    ``seed`` only feeds policies that randomise (power-of-two choices).
+    """
+    if isinstance(policy, Router):
+        return policy
+    try:
+        factory = ROUTERS[policy]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown router {policy!r}; expected one of {sorted(ROUTERS)}"
+        ) from None
+    if factory is PowerOfTwoChoicesRouter:
+        return factory(seed=seed)
+    return factory()

@@ -1,6 +1,8 @@
-"""Shared fixtures: small deterministic matrices and queries."""
+"""Shared fixtures: small deterministic matrices, queries, serving stubs."""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -8,12 +10,22 @@ import pytest
 from repro.data.synthetic import synthetic_embeddings
 from repro.utils.rng import sample_unit_queries
 
+try:  # Hypothesis profiles: `dev` (fast, default) vs `ci` (thorough).
+    from hypothesis import settings as _hyp_settings
+
+    _hyp_settings.register_profile("ci", max_examples=200, deadline=None)
+    _hyp_settings.register_profile("dev", max_examples=25, deadline=None)
+    _hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # property suites will skip/fail on their own imports
+    pass
+
 
 def pytest_collection_modifyitems(items):
     """Tier the suite: property suites join the ``slow`` marker tier.
 
     ``pytest -m "not slow"`` is the fast lane (unit + integration);
-    the plain tier-1 run still executes everything.
+    the plain tier-1 run still executes everything.  CI runs the full tier
+    with ``HYPOTHESIS_PROFILE=ci`` for more examples per property.
     """
     for item in items:
         if "tests/property/" in str(item.fspath).replace("\\", "/"):
@@ -52,3 +64,8 @@ def query(rng):
 def queries(rng):
     """Five L2-normalised non-negative queries of dimension 256."""
     return sample_unit_queries(rng, 5, 256)
+
+
+# Serving stubs for schedule-level tests live in tests/serving_stubs.py
+# (importable as ``from serving_stubs import StubBatchEngine`` because this
+# conftest's directory joins sys.path).

@@ -87,6 +87,73 @@ class TestServeBenchRunner:
         assert len(payload["fleet"]["shard_makespans_ms"]) == 2
 
 
+class TestClusterServeBench:
+    def test_runner_cluster_payload(self):
+        config = ServeBenchConfig(
+            rows=1500, cols=128, n_queries=32, recall_queries=4, seed=7,
+            replicas=2, router="least-outstanding", cache_size=64,
+        )
+        text, payload = run_serve_bench(config)
+        assert "cluster: 2 replicas, least-outstanding router" in text
+        cluster = payload["report"]["cluster"]
+        assert cluster["n_replicas"] == 2
+        assert cluster["n_offered"] == 32
+        assert cluster["n_served"] + cluster["n_cache_hits"] + cluster[
+            "n_rejected"
+        ] == 32
+        assert payload["config"]["replicas"] == 2
+        assert payload["config"]["router"] == "least-outstanding"
+        assert payload["config"]["cache_size"] == 64
+
+    def test_runner_admission_control(self):
+        config = ServeBenchConfig(
+            rows=1500, cols=128, n_queries=48, recall_queries=4, seed=9,
+            replicas=1, queue_capacity=2, max_batch_size=2,
+            rate_qps=1e7,  # deliberate overload
+        )
+        _, payload = run_serve_bench(config)
+        cluster = payload["report"]["cluster"]
+        assert cluster["n_rejected"] > 0
+        assert cluster["reject_rate"] > 0.0
+
+    def test_bad_cluster_knobs_rejected_up_front(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="replicas"):
+            run_serve_bench(
+                ServeBenchConfig(rows=1500, cols=128, n_queries=8, replicas=0)
+            )
+        with pytest.raises(ConfigurationError, match="replicas"):
+            run_serve_bench(
+                ServeBenchConfig(rows=1500, cols=128, n_queries=8, replicas=-2)
+            )
+        with pytest.raises(ConfigurationError, match="cache_size"):
+            run_serve_bench(
+                ServeBenchConfig(rows=1500, cols=128, n_queries=8, cache_size=-5)
+            )
+
+    def test_single_fleet_defaults_keep_the_legacy_payload(self):
+        _, payload = run_serve_bench(
+            ServeBenchConfig(rows=1500, cols=128, n_queries=16, recall_queries=4)
+        )
+        assert "cluster" not in payload["report"]
+
+    def test_cli_cluster_flags(self, tmp_path, capsys):
+        json_path = tmp_path / "cluster.json"
+        assert main([
+            "serve-bench", "--quick", "--n-queries", "32",
+            "--replicas", "2", "--router", "power-of-two",
+            "--cache-size", "32", "--queue-capacity", "64",
+            "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cluster: 2 replicas, power-of-two router" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["config"]["replicas"] == 2
+        assert payload["config"]["queue_capacity"] == 64
+        assert payload["report"]["cluster"]["n_replicas"] == 2
+
+
 class TestServeBenchCli:
     def test_cli_prints_report(self, capsys):
         assert main(["serve-bench", "--quick", "--n-queries", "32"]) == 0

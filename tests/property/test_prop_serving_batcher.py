@@ -1,0 +1,88 @@
+"""Property suite: MicroBatcher dispatch invariants (hypothesis).
+
+The example-based unit tests in ``tests/unit/test_serving_batcher.py`` pin
+known scenarios; these properties assert the dispatch *contract* over
+arbitrary arrival patterns (bursts, ties, unsorted, idle gaps):
+
+* no batch ever exceeds ``max_batch_size``;
+* dispatch never precedes full-or-deadline — a partial batch leaves no
+  earlier than its oldest member's deadline, no batch leaves before its
+  youngest member arrives, and never while the board is busy;
+* the request indices across all batches are a permutation of the input.
+
+An O(1) stub engine keeps the search fast: these are schedule properties,
+independent of the Top-K math (locked elsewhere).
+"""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from serving_stubs import StubBatchEngine
+from repro.serving.batcher import MicroBatcher
+
+
+arrival_lists = st.lists(
+    st.floats(min_value=0.0, max_value=0.05, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+
+batcher_params = st.tuples(
+    st.integers(min_value=1, max_value=9),        # max_batch_size
+    st.sampled_from([0.0, 1e-4, 2e-3, 0.5]),      # max_wait_s
+    st.sampled_from([1e-4, 1e-3]),                # stub base service time
+    st.sampled_from([0.0, 5e-4]),                 # stub per-query service
+)
+
+
+def _run(arrivals, params):
+    max_batch, max_wait, base_s, per_query_s = params
+    engine = StubBatchEngine(base_s=base_s, per_query_s=per_query_s)
+    batcher = MicroBatcher(engine, max_batch_size=max_batch, max_wait_s=max_wait)
+    queries = np.ones((len(arrivals), 8))
+    results, report = batcher.run(queries, np.array(arrivals), top_k=1)
+    return results, report, batcher
+
+
+@given(arrivals=arrival_lists, params=batcher_params)
+def test_no_batch_exceeds_max_batch_size(arrivals, params):
+    _, report, batcher = _run(arrivals, params)
+    assert all(b.size <= batcher.max_batch_size for b in report.batches)
+    assert all(b.size >= 1 for b in report.batches)
+
+
+@given(arrivals=arrival_lists, params=batcher_params)
+def test_dispatch_never_precedes_full_or_deadline(arrivals, params):
+    _, report, batcher = _run(arrivals, params)
+    arrivals = np.asarray(arrivals)
+    t_free = 0.0
+    for batch in report.batches:
+        member_arrivals = arrivals[list(batch.indices)]
+        # Never before the youngest member has arrived...
+        assert batch.dispatch_s >= member_arrivals.max()
+        # ...never while the board still runs the previous batch...
+        assert batch.dispatch_s >= t_free
+        # ...and a partial batch only on (or after) the head's deadline.
+        if batch.size < batcher.max_batch_size:
+            head = member_arrivals.min()
+            assert batch.dispatch_s >= head + batcher.max_wait_s
+        t_free = batch.completion_s
+
+
+@given(arrivals=arrival_lists, params=batcher_params)
+def test_batch_indices_are_a_permutation_of_the_input(arrivals, params):
+    results, report, _ = _run(arrivals, params)
+    dispatched = [i for b in report.batches for i in b.indices]
+    assert sorted(dispatched) == list(range(len(arrivals)))
+    assert len(results) == len(arrivals)
+    assert report.n_queries == len(arrivals)
+
+
+@given(arrivals=arrival_lists, params=batcher_params)
+def test_latencies_cover_queue_wait_plus_service(arrivals, params):
+    """Each request's latency is exactly its batch completion minus arrival."""
+    _, report, _ = _run(arrivals, params)
+    arrivals = np.asarray(arrivals)
+    for batch in report.batches:
+        for rid in batch.indices:
+            assert report.latencies_s[rid] == batch.completion_s - arrivals[rid]

@@ -7,7 +7,7 @@ from repro.core.engine import TopKSpmvEngine
 from repro.data.synthetic import synthetic_embeddings
 from repro.errors import ConfigurationError
 from repro.hw.design import PAPER_DESIGNS
-from repro.serving.batcher import MicroBatcher, poisson_arrivals
+from repro.serving.batcher import BatchQueue, MicroBatcher, poisson_arrivals
 from repro.utils.rng import sample_unit_queries
 
 
@@ -124,6 +124,23 @@ class TestArrivalsAndValidation:
     def test_bad_rate_rejected(self):
         with pytest.raises(ConfigurationError):
             poisson_arrivals(10, 0.0)
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(10, -5.0)
+
+    def test_non_finite_rate_rejected(self):
+        for rate in (float("inf"), float("-inf"), float("nan")):
+            with pytest.raises(ConfigurationError):
+                poisson_arrivals(10, rate)
+
+    def test_single_arrival_is_anchored_at_zero(self):
+        # The stream is shifted so the first arrival defines t=0; with one
+        # request there are no gaps left, so the result is exactly [0.0]
+        # for any rate and any seed.
+        for rate in (1e-6, 1.0, 1e9):
+            for seed in (0, 1, 2):
+                arrivals = poisson_arrivals(1, rate, rng=seed)
+                assert arrivals.shape == (1,)
+                assert arrivals[0] == 0.0
 
     def test_mismatched_arrivals_rejected(self, engine, stream_queries):
         batcher = MicroBatcher(engine, max_batch_size=4, max_wait_s=1e-3)
@@ -140,3 +157,48 @@ class TestArrivalsAndValidation:
             MicroBatcher(engine, max_batch_size=0)
         with pytest.raises(ConfigurationError):
             MicroBatcher(engine, max_wait_s=-1.0)
+
+
+class TestBatchQueue:
+    """The causal dispatch-rule state machine behind MicroBatcher/cluster."""
+
+    def test_idle_queue_has_no_dispatch(self):
+        queue = BatchQueue(max_batch_size=4, max_wait_s=1e-3)
+        assert queue.next_dispatch_s() is None
+        with pytest.raises(ConfigurationError):
+            queue.pop_batch()
+
+    def test_partial_batch_waits_for_the_deadline(self):
+        queue = BatchQueue(max_batch_size=4, max_wait_s=1e-3)
+        queue.push(0, 0.5)
+        assert queue.next_dispatch_s() == pytest.approx(0.5 + 1e-3)
+
+    def test_full_batch_dispatches_on_fill(self):
+        queue = BatchQueue(max_batch_size=2, max_wait_s=10.0)
+        queue.push(0, 0.0)
+        queue.push(1, 0.25)
+        assert queue.next_dispatch_s() == 0.25
+        dispatch, members = queue.pop_batch()
+        assert dispatch == 0.25
+        assert [rid for rid, _ in members] == [0, 1]
+        assert queue.queued == 0
+
+    def test_busy_board_defers_dispatch(self):
+        queue = BatchQueue(max_batch_size=2, max_wait_s=0.0)
+        queue.t_free = 5.0
+        queue.push(0, 1.0)
+        assert queue.next_dispatch_s() == 5.0
+
+    def test_overfull_queue_pops_only_one_batch(self):
+        queue = BatchQueue(max_batch_size=2, max_wait_s=0.0)
+        for rid in range(5):
+            queue.push(rid, 0.0)
+        _, members = queue.pop_batch()
+        assert [rid for rid, _ in members] == [0, 1]
+        assert queue.queued == 3
+
+    def test_out_of_order_push_rejected(self):
+        queue = BatchQueue(max_batch_size=4, max_wait_s=1e-3)
+        queue.push(0, 2.0)
+        with pytest.raises(ConfigurationError):
+            queue.push(1, 1.0)

@@ -1,0 +1,88 @@
+"""Unit tests for the exact-result query cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import TopKResult
+from repro.errors import ConfigurationError
+from repro.serving.cache import QueryCache, query_cache_key
+
+
+def _result(seed: int) -> TopKResult:
+    rng = np.random.default_rng(seed)
+    return TopKResult(
+        indices=rng.integers(0, 100, size=5),
+        values=np.sort(rng.random(5))[::-1],
+    )
+
+
+class TestKey:
+    def test_key_covers_digest_query_and_k(self):
+        q = np.array([1, 2, 3], dtype=np.int32)
+        base = query_cache_key("d1", q, 10)
+        assert query_cache_key("d1", q.copy(), 10) == base
+        assert query_cache_key("d2", q, 10) != base
+        assert query_cache_key("d1", q, 11) != base
+        assert query_cache_key("d1", np.array([1, 2, 4], dtype=np.int32), 10) != base
+
+    def test_dtype_participates(self):
+        a = np.array([1], dtype=np.int32)
+        b = a.view(np.uint32)
+        assert query_cache_key("d", a, 1) != query_cache_key("d", b, 1)
+
+
+class TestLRU:
+    def test_hit_returns_the_exact_object(self):
+        cache = QueryCache(capacity=4)
+        key = query_cache_key("d", np.array([1.0]), 5)
+        result = _result(1)
+        cache.put(key, result)
+        got = cache.get(key)
+        assert got is result  # same arrays, trivially bit-identical
+
+    def test_miss_then_hit_counters(self):
+        cache = QueryCache(capacity=2)
+        key = query_cache_key("d", np.array([2.0]), 5)
+        assert cache.get(key) is None
+        cache.put(key, _result(2))
+        assert cache.get(key) is not None
+        assert (cache.hits, cache.misses, cache.insertions) == (1, 1, 1)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_evicts_least_recently_used(self):
+        cache = QueryCache(capacity=2)
+        keys = [query_cache_key("d", np.array([float(i)]), 5) for i in range(3)]
+        cache.put(keys[0], _result(0))
+        cache.put(keys[1], _result(1))
+        cache.get(keys[0])          # refresh 0: 1 becomes the LRU entry
+        cache.put(keys[2], _result(2))
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_put_refreshes_existing_entry(self):
+        cache = QueryCache(capacity=2)
+        keys = [query_cache_key("d", np.array([float(i)]), 5) for i in range(3)]
+        cache.put(keys[0], _result(0))
+        cache.put(keys[1], _result(1))
+        cache.put(keys[0], _result(0))  # refresh, not a growth
+        cache.put(keys[2], _result(2))  # evicts 1, not 0
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None
+
+    def test_stats_payload(self):
+        cache = QueryCache(capacity=8)
+        key = query_cache_key("d", np.array([9.0]), 3)
+        cache.put(key, _result(9))
+        cache.get(key)
+        stats = cache.stats()
+        assert stats["capacity"] == 8
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 0
+        assert stats["hit_rate"] == 1.0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueryCache(capacity=0)

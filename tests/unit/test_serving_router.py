@@ -1,0 +1,84 @@
+"""Unit tests for the cluster routing policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving.router import (
+    ROUTERS,
+    LeastOutstandingRouter,
+    PowerOfTwoChoicesRouter,
+    RoundRobinRouter,
+    make_router,
+)
+
+
+class TestRoundRobin:
+    def test_cycles_in_id_order(self):
+        router = RoundRobinRouter()
+        picks = [router.select([0, 0, 0]) for _ in range(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_ignores_load(self):
+        router = RoundRobinRouter()
+        assert router.select([99, 0]) == 0
+        assert router.select([99, 0]) == 1
+
+    def test_reset_rewinds_the_cycle(self):
+        router = RoundRobinRouter()
+        router.select([0, 0])
+        router.reset()
+        assert router.select([0, 0]) == 0
+
+
+class TestLeastOutstanding:
+    def test_picks_minimum(self):
+        assert LeastOutstandingRouter().select([3, 1, 2]) == 1
+
+    def test_ties_break_to_lowest_id(self):
+        assert LeastOutstandingRouter().select([2, 1, 1]) == 1
+        assert LeastOutstandingRouter().select([0, 0, 0]) == 0
+
+
+class TestPowerOfTwoChoices:
+    def test_single_replica_short_circuits(self):
+        assert PowerOfTwoChoicesRouter(seed=1).select([5]) == 0
+
+    def test_picks_the_less_loaded_probe(self):
+        # With 2 replicas both probes are always {0, 1}.
+        router = PowerOfTwoChoicesRouter(seed=2)
+        assert router.select([4, 1]) == 1
+        assert router.select([0, 9]) == 0
+        assert router.select([3, 3]) == 0  # tie -> lower id
+
+    def test_seeded_probe_sequence_replays_after_reset(self):
+        router = PowerOfTwoChoicesRouter(seed=7)
+        loads = [2, 5, 1, 4, 3]
+        first = [router.select(loads) for _ in range(20)]
+        router.reset()
+        assert [router.select(loads) for _ in range(20)] == first
+
+    def test_different_seeds_eventually_differ(self):
+        loads = [0, 0, 0, 0, 0, 0, 0, 0]
+        a = PowerOfTwoChoicesRouter(seed=0)
+        b = PowerOfTwoChoicesRouter(seed=1)
+        assert [a.select(loads) for _ in range(32)] != [
+            b.select(loads) for _ in range(32)
+        ]
+
+
+class TestFactory:
+    def test_every_registered_name_constructs(self):
+        for name in ROUTERS:
+            assert make_router(name).name == name
+
+    def test_router_instances_pass_through(self):
+        router = RoundRobinRouter()
+        assert make_router(router) is router
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown router"):
+            make_router("random")
+
+    def test_seed_reaches_power_of_two(self):
+        router = make_router("power-of-two", seed=11)
+        assert router.seed == 11
