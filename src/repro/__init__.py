@@ -25,6 +25,7 @@ Quickstart
 
 from repro.core.collection import CompiledCollection, compile_collection
 from repro.core.engine import TopKSpmvEngine, EngineResult, BatchResult
+from repro.core.kernels import available_kernels
 from repro.core.reference import TopKResult, exact_topk_spmv
 from repro.core.approx import approximate_topk_spmv
 from repro.core.precision_model import (
@@ -43,6 +44,7 @@ __all__ = [
     "TopKSpmvEngine",
     "EngineResult",
     "BatchResult",
+    "available_kernels",
     "TopKResult",
     "exact_topk_spmv",
     "approximate_topk_spmv",

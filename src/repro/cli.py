@@ -9,6 +9,8 @@ Usage::
     python -m repro serve-bench --shards 4 --batch-size 16 --json serve.json
     python -m repro serve-bench --replicas 4 --router power-of-two \
         --cache-size 256 --queue-capacity 32   # the cluster tier
+    python -m repro serve-bench --kernel contraction   # pick a SpMV kernel
+    python -m repro bench-all                 # every benchmark + summary
 
 Build/serve split (the production workflow)::
 
@@ -24,12 +26,16 @@ serving fleet from it without re-encoding anything.
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import subprocess
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments import ALL_EXPERIMENTS, ExperimentConfig
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "consolidate_bench_results"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,10 +49,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["all", "serve-bench", "compile"],
+        choices=sorted(ALL_EXPERIMENTS) + ["all", "serve-bench", "compile", "bench-all"],
         help="which experiment to regenerate (serve-bench runs the sharded "
         "batch serving simulation; compile builds and saves a servable "
-        "collection artifact instead of a paper artifact)",
+        "collection artifact instead of a paper artifact; bench-all runs "
+        "every benchmarks/bench_*.py emitter and consolidates the results)",
     )
     parser.add_argument(
         "rest",
@@ -127,8 +134,28 @@ def build_parser() -> argparse.ArgumentParser:
         "rejection (default: unbounded)",
     )
     serving.add_argument(
+        "--kernel", type=str, default=None,
+        help="batch-query kernel backend: auto, gather, streaming or "
+        "contraction (default: $REPRO_KERNEL or auto); every backend is "
+        "bit-identical — this only changes speed",
+    )
+    serving.add_argument(
+        "--kernel-workers", type=int, default=None,
+        help="partition-parallel threads for the batch kernel "
+        "(default: $REPRO_KERNEL_WORKERS or 1)",
+    )
+    serving.add_argument(
         "--json", type=str, default=None, metavar="PATH",
         help="also dump the serve-bench numbers as JSON",
+    )
+    bench_all = parser.add_argument_group("bench-all options")
+    bench_all.add_argument(
+        "--only", type=str, default=None, metavar="SUBSTRING",
+        help="run only the bench_*.py files whose name contains this",
+    )
+    bench_all.add_argument(
+        "--benchmarks-dir", type=str, default="benchmarks", metavar="DIR",
+        help="directory holding the bench_*.py emitters (default: benchmarks)",
     )
     serving.add_argument(
         "--collection", type=str, default=None, metavar="PATH",
@@ -170,6 +197,8 @@ def _serve_bench_config(args: argparse.Namespace) -> "ServeBenchConfig":
         router=args.router,
         cache_size=args.cache_size,
         queue_capacity=args.queue_capacity,
+        kernel=args.kernel,
+        kernel_workers=args.kernel_workers,
     )
     if args.quick:
         config = config.quick()
@@ -248,6 +277,88 @@ def _run_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def consolidate_bench_results(results_dir: "str | Path", runs: dict) -> dict:
+    """Merge per-benchmark run records with every emitted results JSON.
+
+    ``runs`` maps ``bench_*.py`` file names to ``{"status", "seconds"}``
+    records; every ``*.json`` under ``results_dir`` (except the summary
+    itself) is inlined under its stem, so one file carries the whole perf
+    trajectory of a commit.
+    """
+    results = {}
+    results_dir = Path(results_dir)
+    if results_dir.is_dir():
+        for path in sorted(results_dir.glob("*.json")):
+            if path.name == "BENCH_summary.json":
+                continue
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    results[path.stem] = json.load(handle)
+            except (OSError, json.JSONDecodeError) as exc:
+                results[path.stem] = {"error": str(exc)}
+    return {"runs": runs, "results": results}
+
+
+def _run_bench_all(args: argparse.Namespace) -> int:
+    """Run every ``benchmarks/bench_*.py`` emitter; consolidate the JSONs.
+
+    Each file runs under pytest in its own interpreter (the emitters are
+    test modules that also enforce speedup floors), and the consolidated
+    ``BENCH_summary.json`` lands next to the per-benchmark payloads in
+    ``benchmarks/results/`` so the perf trajectory is one artifact per
+    commit.  Exit code is non-zero when any benchmark fails its floor.
+    """
+    import repro
+
+    bench_dir = Path(args.benchmarks_dir)
+    if not bench_dir.is_dir():
+        raise SystemExit(
+            f"benchmarks directory {bench_dir} not found; run from the "
+            "repository root or pass --benchmarks-dir"
+        )
+    files = sorted(bench_dir.glob("bench_*.py"))
+    if args.only is not None:
+        files = [f for f in files if args.only in f.name]
+    env = os.environ.copy()
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_root, env.get("PYTHONPATH")) if p
+    )
+    runs: dict = {}
+    failed = []
+    for path in files:
+        started = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", str(path), "-q"],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        elapsed = time.perf_counter() - started
+        status = "passed" if proc.returncode == 0 else "failed"
+        runs[path.name] = {"status": status, "seconds": elapsed}
+        print(f"[{status}] {path.name} ({elapsed:.1f}s)", file=sys.stderr)
+        if proc.returncode != 0:
+            failed.append(path.name)
+            sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:])
+    results_dir = bench_dir / "results"
+    results_dir.mkdir(exist_ok=True)
+    summary = consolidate_bench_results(results_dir, runs)
+    summary_path = results_dir / "BENCH_summary.json"
+    with open(summary_path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+    print(json.dumps(summary["runs"], indent=2, sort_keys=True))
+    print(f"wrote {summary_path}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if failed:
+        print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _make_config(args: argparse.Namespace) -> ExperimentConfig:
     if args.quick:
         config = ExperimentConfig.quick()
@@ -281,6 +392,8 @@ def main(argv: "list[str] | None" = None) -> int:
         )
     if args.experiment == "serve-bench":
         return _run_serve_bench(args)
+    if args.experiment == "bench-all":
+        return _run_bench_all(args)
     config = _make_config(args)
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
 

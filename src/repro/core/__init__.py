@@ -14,6 +14,9 @@ Modules
     Expected-precision theory + Monte Carlo estimation (Eq. 1, Table I).
 ``dataflow``
     Functional simulation of Algorithm 1 over BS-CSR packet streams.
+``kernels``
+    Pluggable batch-query SpMV backends (gather / streaming / contraction),
+    all bit-identical to the reference dataflow.
 ``collection``
     The compiled query-independent artifact: one build pipeline producing
     partition streams, stream plans and a persistable ``.npz`` container.
@@ -32,6 +35,7 @@ from repro.core.precision_model import (
     MonteCarloEstimate,
 )
 from repro.core.dataflow import DataflowCore, simulate_dataflow
+from repro.core.kernels import available_kernels, get_kernel, resolve_kernel_name
 from repro.core.collection import CompiledCollection, compile_collection
 from repro.core.engine import TopKSpmvEngine, EngineResult, BatchResult
 from repro.core.adaptive import WorkloadProfile, DesignChoice, select_design
@@ -52,6 +56,9 @@ __all__ = [
     "MonteCarloEstimate",
     "DataflowCore",
     "simulate_dataflow",
+    "available_kernels",
+    "get_kernel",
+    "resolve_kernel_name",
     "CompiledCollection",
     "compile_collection",
     "TopKSpmvEngine",

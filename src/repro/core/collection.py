@@ -32,6 +32,7 @@ from dataclasses import asdict, replace
 import numpy as np
 
 from repro.core.dataflow import StreamPlan, plan_stream
+from repro.core.kernels.contraction import ContractionOperand, lower_plans
 from repro.errors import ConfigurationError, FormatError
 from repro.formats.bscsr import BSCSRMatrix, BSCSRStream
 from repro.formats.csr import CSRMatrix
@@ -146,6 +147,7 @@ class CompiledCollection:
         self.encoded = encoded
         self._plans: "list[StreamPlan | None]" = [None] * encoded.n_partitions
         self._plans_all: "list[StreamPlan] | None" = None
+        self._operand: "ContractionOperand | None" = None
 
     # ------------------------------------------------------------------ #
     # Shape and size
@@ -210,6 +212,19 @@ class CompiledCollection:
                 self._plans[i] = plan_stream(self.encoded.streams[i])
         return self._plans[start:stop]
 
+    def contraction_operand(self) -> ContractionOperand:
+        """The collection-level CSR operand for the contraction kernel.
+
+        Lowered from the stream plans once per compiled collection (on
+        first batch use or at :meth:`save`, which persists it; loading
+        restores the buffers verbatim) and shared by every consumer, like
+        the plan cache it is derived from.
+        """
+        if self._operand is None:
+            plans = self.stream_plans()
+            self._operand = lower_plans(plans, [self.design.codec] * len(plans))
+        return self._operand
+
     def stream_slice(self, start: int, stop: int) -> BSCSRMatrix:
         """Partitions ``[start, stop)`` as a BSCSRMatrix sharing this
         collection's stream buffers (no re-encode, no copies).
@@ -270,8 +285,36 @@ class CompiledCollection:
             "val_raw": val_raw,
         }
 
+    def _aux_arrays(self) -> "dict[str, np.ndarray]":
+        """Derived buffers persisted outside the content digest.
+
+        The contraction operand is lowered from the streams, so it is a
+        cache, not content: it rides along under the artifact's aux digest
+        (see :func:`repro.formats.io.save_artifact`) and artifacts written
+        before it existed still load — the operand is then rebuilt lazily.
+        Designs with no fixed value grid (float32/exact codecs) persist
+        nothing: the contraction kernel is permanently gated off for them,
+        so the operand would be dead weight in every load.
+        """
+        operand = self.contraction_operand()
+        if operand.value_grid_bits is None:
+            return {}
+        return {
+            "op_data": operand.data,
+            "op_indices": operand.indices,
+            "op_indptr": operand.indptr,
+        }
+
     def _header(self) -> dict:
         design_fields = asdict(self.design)
+        operand = self.contraction_operand()
+        if operand.value_grid_bits is None:
+            operand_meta = None
+        else:
+            operand_meta = {
+                "value_grid_bits": operand.value_grid_bits,
+                "max_abs_row_raw": operand.max_abs_row_raw,
+            }
         return {
             "design": design_fields,
             "codec": self.design.codec.name,
@@ -287,6 +330,7 @@ class CompiledCollection:
             "n_cols": self.n_cols,
             "nnz": self.nnz,
             "n_partitions": self.n_partitions,
+            "operand": operand_meta,
         }
 
     def save(self, path) -> None:
@@ -295,7 +339,11 @@ class CompiledCollection:
         The file lands at exactly ``path`` (no ``.npz`` suffix is appended).
         """
         self._digest = save_artifact(
-            path, COLLECTION_KIND, self._header(), self._payload_arrays()
+            path,
+            COLLECTION_KIND,
+            self._header(),
+            self._payload_arrays(),
+            aux_arrays=self._aux_arrays(),
         )
 
     @classmethod
@@ -375,4 +423,15 @@ class CompiledCollection:
         )
         collection = cls(matrix=matrix, design=design, encoded=encoded)
         collection._digest = header["digest"]
+        if "op_data" in arrays:
+            meta = header.get("operand") or {}
+            grid_bits = meta.get("value_grid_bits")
+            collection._operand = ContractionOperand(
+                data=arrays["op_data"],
+                indices=arrays["op_indices"],
+                indptr=arrays["op_indptr"],
+                part_rows=arrays["part_n_rows"],
+                value_grid_bits=None if grid_bits is None else int(grid_bits),
+                max_abs_row_raw=float(meta.get("max_abs_row_raw", 0.0)),
+            )
         return collection

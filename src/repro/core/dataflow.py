@@ -17,6 +17,12 @@ lives in :mod:`repro.hw.fpga_core`.  Arithmetic faithfulness: fixed-point
 designs accumulate exactly in hardware, which float64 reproduces for the
 paper's formats and row lengths; the float32 design accumulates in float32,
 reproduced here with NumPy float32 arithmetic.
+
+The *batched* multi-query hot path lives in :mod:`repro.core.kernels` as a
+set of pluggable backends (reference gather, fused streaming, CSR
+contraction), all locked bit-identical to :meth:`DataflowCore.run_fast`;
+:func:`simulate_multicore_batch` selects one via its ``kernel`` argument,
+the ``REPRO_KERNEL`` environment variable, or the registry default.
 """
 
 from __future__ import annotations
@@ -340,25 +346,14 @@ def _run_block_on_plan(
     accumulate_dtype: np.dtype,
     local_k: int,
 ) -> tuple[list[TopKResult], np.ndarray]:
-    """One stream against a query block: per-query top-k + accept counts."""
-    n_queries = X.shape[0]
-    if plan.n_rows == 0:
-        return (
-            [TopKTracker(local_k).result() for _ in range(n_queries)],
-            np.zeros(n_queries, dtype=np.int64),
-        )
-    values = plan.kept_values.astype(accumulate_dtype)
-    # Chunk the query dimension so the (chunk, kept_lanes) intermediates stay
-    # cache-resident at large Q; rows are independent, so chunking cannot
-    # change any per-query bit.
-    chunk = 32
-    row_values = np.empty((n_queries, plan.n_rows), dtype=np.float64)
-    for q0 in range(0, n_queries, chunk):
-        block = X[q0 : q0 + chunk].astype(accumulate_dtype)
-        products = values[None, :] * block[:, plan.kept_idx]
-        reduced = np.add.reduceat(products, plan.starts, axis=1)
-        row_values[q0 : q0 + chunk] = reduced.astype(accumulate_dtype)
-    return _batch_scratchpads(row_values, local_k)
+    """One stream against a query block: per-query top-k + accept counts.
+
+    Thin compatibility delegate; the implementation is the reference gather
+    kernel (:func:`repro.core.kernels.gather.run_plan_gather`).
+    """
+    from repro.core.kernels.gather import run_plan_gather
+
+    return run_plan_gather(X, plan, accumulate_dtype, local_k)
 
 
 def _batch_scratchpads(
@@ -366,77 +361,15 @@ def _batch_scratchpads(
 ) -> tuple[list[TopKResult], np.ndarray]:
     """Every query's Top-K scratchpad over one partition's finished rows.
 
-    Bit-identical to running :class:`TopKTracker` per query (sequential
-    insert in row order) but organised for a whole ``(Q, n_rows)`` block:
-
-    * the first ``k`` rows of any query always land in slots ``0..k-1``
-      (argmin hits the first −inf register), so the fill is one array copy;
-    * the eviction threshold never decreases, so each doubling window of
-      rows is pre-filtered against every query's *current* worst with one
-      vectorised compare — only the ~``k·ln(n/k)`` genuine contenders reach
-      the sequential argmin loop;
-    * final per-query ordering (desc value, asc row) is one batched lexsort.
-
-    Non-finite row values (impossible for real dot products) fall back to
-    the reference tracker so the equivalence guarantee holds unconditionally.
+    Thin compatibility delegate for
+    :func:`repro.core.kernels.scratchpad.batch_scratchpads` — bit-identical
+    to sequential per-query :class:`TopKTracker` inserts in row order,
+    including NaN/±inf row values (a NaN block takes a sequential path that
+    mirrors the tracker operation for operation).
     """
-    n_queries, n_rows = row_values.shape
-    if not np.isfinite(row_values).all():
-        results = []
-        accepts = np.zeros(n_queries, dtype=np.int64)
-        row_ids = np.arange(n_rows, dtype=np.int64)
-        for q in range(n_queries):
-            tracker = TopKTracker(local_k)
-            accepts[q] = tracker.insert_many(row_ids, row_values[q])
-            results.append(tracker.result())
-        return results, accepts
+    from repro.core.kernels.scratchpad import batch_scratchpads
 
-    fill = min(local_k, n_rows)
-    vals = np.full((n_queries, local_k), -np.inf)
-    rows = np.full((n_queries, local_k), -1, dtype=np.int64)
-    vals[:, :fill] = row_values[:, :fill]
-    rows[:, :fill] = np.arange(fill, dtype=np.int64)
-    accepts = np.full(n_queries, fill, dtype=np.int64)
-
-    if n_rows > local_k:
-        # Python-list scratchpads: min()/list.index() on k≈8 entries beat
-        # numpy call overhead by an order of magnitude in this inner loop.
-        tracker_vals = vals.tolist()
-        tracker_rows = rows.tolist()
-        accept_counts = accepts.tolist()
-        worsts = [min(tv) for tv in tracker_vals]
-        lo = local_k
-        while lo < n_rows:
-            hi = min(n_rows, 2 * lo)
-            thresholds = np.array(worsts)
-            # Rows below a query's current worst are rejected no matter when
-            # they arrive (the threshold only rises); nonzero yields the
-            # survivors in (query, row) order — the tracker's insert order.
-            window = row_values[:, lo:hi]
-            survives = window >= thresholds[:, None]
-            qq, jj = np.nonzero(survives)
-            for q, j, value in zip(qq.tolist(), jj.tolist(), window[survives].tolist()):
-                worst = worsts[q]
-                if value >= worst:
-                    tracker = tracker_vals[q]
-                    slot = tracker.index(worst)
-                    tracker[slot] = value
-                    tracker_rows[q][slot] = lo + j
-                    accept_counts[q] += 1
-                    worsts[q] = min(tracker)
-            lo = hi
-        vals = np.array(tracker_vals)
-        rows = np.array(tracker_rows, dtype=np.int64)
-        accepts = np.array(accept_counts, dtype=np.int64)
-
-    order = np.lexsort((rows, -vals), axis=-1)
-    vals = np.take_along_axis(vals, order, axis=1)
-    rows = np.take_along_axis(rows, order, axis=1)
-    results = []
-    for q in range(n_queries):
-        kept = rows[q] >= 0
-        results.append(TopKResult(indices=rows[q][kept], values=vals[q][kept]))
-    return results, accepts
+    return batch_scratchpads(row_values, local_k)
 
 
 def simulate_dataflow(
@@ -487,15 +420,21 @@ def simulate_multicore_batch(
     local_k: int,
     accumulate_dtype: np.dtype = np.float64,
     plans: "list[StreamPlan] | None" = None,
+    kernel: "str | None" = None,
+    n_workers: "int | None" = None,
+    operand=None,
+    query_chunk: "int | None" = None,
 ) -> tuple[list[list[TopKResult]], list[DataflowStats]]:
     """Run a ``(Q, n_cols)`` query block through every partition's core.
 
     The vectorised counterpart of looping :func:`simulate_multicore` over the
-    block's rows: each partition stream is walked once, all queries' row
-    values fall out of one broadcast multiply + ``reduceat`` sweep, and each
-    query gets its own Top-K scratchpads in the same insert order.  Per
-    query the candidate lists and merged stats are bit-identical to the
-    sequential loop (asserted by ``tests/property/test_prop_batch_dataflow``).
+    block's rows: each partition stream is walked once per batch and each
+    query gets its own Top-K scratchpads in the same insert order.  The
+    sweep itself runs on a pluggable kernel backend
+    (:mod:`repro.core.kernels`); whichever backend executes, per query the
+    candidate lists and merged stats are bit-identical to the sequential
+    loop (asserted by ``tests/property/test_prop_batch_dataflow`` and
+    ``tests/property/test_prop_kernels``).
 
     Parameters
     ----------
@@ -506,13 +445,39 @@ def simulate_multicore_batch(
     plans:
         Optional pre-built per-partition :class:`StreamPlan` list (must align
         with ``matrix.streams``); serving layers cache these across batches.
+    kernel:
+        Backend name (``"gather"``, ``"streaming"``, ``"contraction"``,
+        ``"auto"``); ``None`` defers to ``$REPRO_KERNEL`` or the default.
+        Backends that cannot guarantee the request's accumulation order
+        fall back to the reference kernel automatically.
+    n_workers:
+        Partition-parallel thread count; ``None`` defers to
+        ``$REPRO_KERNEL_WORKERS`` or 1.  Bit-neutral.
+    operand:
+        Optional pre-lowered
+        :class:`~repro.core.kernels.contraction.ContractionOperand` aligned
+        with ``plans`` (compiled collections persist one).  When omitted it
+        is lowered on the fly only if the contraction kernel is requested
+        by name.
+    query_chunk:
+        Query chunk width override (``None`` = per-backend auto-tuning).
 
     Returns
     -------
     results, stats:
         ``results[q]`` is query ``q``'s per-core candidate list with global
-        row ids; ``stats[q]`` its merged whole-accelerator counters.
+        row ids (freshly allocated index arrays — backend-internal buffers
+        are never mutated); ``stats[q]`` its merged whole-accelerator
+        counters.
     """
+    from repro.core.kernels import (
+        KernelRequest,
+        lower_plans,
+        resolve_kernel_name,
+        resolve_workers,
+        run_kernel,
+    )
+
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
     if queries.ndim != 2:
         raise ConfigurationError(
@@ -524,27 +489,44 @@ def simulate_multicore_batch(
         raise ConfigurationError(
             f"{len(plans)} plans supplied for {len(matrix.streams)} streams"
         )
+    core = DataflowCore(local_k=local_k, x=queries, accumulate_dtype=accumulate_dtype)
+    X = np.atleast_2d(core.x)
+    for stream in matrix.streams:
+        core._query_block(stream)  # per-stream column-count validation only
+
+    kernel_name = resolve_kernel_name(kernel)
+    if operand is None and kernel_name == "contraction":
+        operand = lower_plans(plans, [s.codec for s in matrix.streams])
+    request = KernelRequest(
+        X=X,
+        plans=tuple(plans),
+        accumulate_dtype=core.accumulate_dtype,
+        local_k=core.local_k,
+        operand=operand,
+        n_workers=resolve_workers(n_workers),
+        query_chunk=query_chunk,
+    )
+    out = run_kernel(request, kernel_name)
+
     n_queries = queries.shape[0]
     results: list[list[TopKResult]] = [[] for _ in range(n_queries)]
-    core = DataflowCore(local_k=local_k, x=queries, accumulate_dtype=accumulate_dtype)
     # The structural counters are query-independent: fold them across
     # partitions once instead of per query, then graft in each query's
     # tracker-accept total (exactly what a merge of per-stream stats yields).
     base = DataflowStats()
     accept_totals = np.zeros(n_queries, dtype=np.int64)
-    for stream, offset, plan in zip(matrix.streams, matrix.row_offsets, plans):
-        X = core._query_block(stream)
-        local_results, accepts = _run_block_on_plan(
-            X, plan, core.accumulate_dtype, core.local_k
-        )
+    for p, (offset, plan) in enumerate(zip(matrix.row_offsets, plans)):
         offset = int(offset)
         for q in range(n_queries):
-            local = local_results[q]
-            # Fresh arrays from _run_block_on_plan: globalise ids in place
-            # (TopKResult is frozen, its arrays are not).
-            local.indices.__iadd__(offset)
-            results[q].append(local)
+            local = out.results[p][q]
+            # Globalise into freshly allocated arrays: a backend may cache
+            # or share its local result buffers (TopKResult is frozen, its
+            # arrays are not), so in-place offsetting would be an aliasing
+            # hazard.
+            results[q].append(
+                TopKResult(indices=local.indices + offset, values=local.values)
+            )
         base = base.merge(plan.stats)
-        accept_totals += accepts
+        accept_totals += out.accepts[p]
     totals = [replace(base, tracker_accepts=int(a)) for a in accept_totals]
     return results, totals

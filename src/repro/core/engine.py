@@ -167,6 +167,8 @@ class TopKSpmvEngine:
         hbm: HBMConfig = ALVEO_U280_HBM,
         uram: URAMSpec = ALVEO_U280_URAM,
         constants: CalibrationConstants = CALIBRATION,
+        kernel: "str | None" = None,
+        kernel_workers: "int | None" = None,
     ):
         """Attach a board to a collection, compiling it if necessary.
 
@@ -189,6 +191,14 @@ class TopKSpmvEngine:
             fixes the design it was quantised with.
         hbm, uram, constants:
             Board models; defaults model the Alveo U280.
+        kernel:
+            Batch-query kernel backend name (see :mod:`repro.core.kernels`);
+            ``None`` defers to ``$REPRO_KERNEL`` or the registry default.
+            Every backend returns bit-identical results — this is a pure
+            software-performance knob.
+        kernel_workers:
+            Partition-parallel thread count for the batch path; ``None``
+            defers to ``$REPRO_KERNEL_WORKERS`` or 1.  Bit-neutral.
         """
         from repro.core.collection import (
             CompiledCollection,
@@ -219,6 +229,8 @@ class TopKSpmvEngine:
         self.collection = (
             collection if collection is not None else compile_collection(csr, design)
         )
+        self.kernel = kernel
+        self.kernel_workers = kernel_workers
         self.accelerator = TopKSpmvAccelerator(design, hbm, constants)
         # Timing depends only on the stream shape, not the query: cache it.
         self._timing = self.accelerator.timing_from_matrix(self.encoded)
@@ -231,9 +243,18 @@ class TopKSpmvEngine:
         hbm: HBMConfig = ALVEO_U280_HBM,
         uram: URAMSpec = ALVEO_U280_URAM,
         constants: CalibrationConstants = CALIBRATION,
+        kernel: "str | None" = None,
+        kernel_workers: "int | None" = None,
     ) -> "TopKSpmvEngine":
         """Serve a pre-compiled (or loaded) collection on a simulated board."""
-        return cls(collection, hbm=hbm, uram=uram, constants=constants)
+        return cls(
+            collection,
+            hbm=hbm,
+            uram=uram,
+            constants=constants,
+            kernel=kernel,
+            kernel_workers=kernel_workers,
+        )
 
     # The query-independent state lives on the compiled artifact; the engine
     # only adds the board (timing + power) on top.
@@ -308,14 +329,27 @@ class TopKSpmvEngine:
         :func:`repro.core.dataflow.simulate_multicore_batch`).  ``result[q]``
         holds query ``q``'s per-core k-candidate lists with global row ids.
         """
+        from repro.core.kernels import resolve_kernel_name
+
         queries = self._check_query_block(queries)
         x_uram = self.design.quantize_query(queries)
+        # Only lower/pass the contraction operand when the resolved backend
+        # can actually use it — an explicit gather/streaming engine must not
+        # pay the operand's memory or build cost.
+        operand = (
+            self.collection.contraction_operand()
+            if resolve_kernel_name(self.kernel) in ("contraction", "auto")
+            else None
+        )
         return simulate_multicore_batch(
             self.encoded,
             x_uram,
             local_k=self.design.local_k,
             accumulate_dtype=self.design.accumulate_dtype,
             plans=self.stream_plans(),
+            kernel=self.kernel,
+            n_workers=self.kernel_workers,
+            operand=operand,
         )
 
     def query_batch(self, queries: np.ndarray, top_k: int) -> "BatchResult":

@@ -1,0 +1,82 @@
+"""Pluggable SpMV kernel backends for the batch-query hot path.
+
+Modules
+-------
+``base``
+    The :class:`KernelBackend` contract, the registry, request/output
+    types, worker/chunk auto-tuning and the gated :func:`run_kernel`
+    driver.
+``scratchpad``
+    :class:`BatchScratchpads` — every query's k-entry Top-K scratchpad,
+    foldable block by block, bit-identical to sequential tracker inserts.
+``gather``
+    The reference gather + ``reduceat`` backend (the universal fallback).
+``streaming``
+    Fused row-block streaming with provable threshold skipping; never
+    materialises ``(Q, n_rows)``.
+``contraction``
+    Collection-level SciPy CSR contraction, gated on provably exact
+    (order-independent) float64 accumulation.
+
+Selection: ``kernel=`` arguments on the engines /
+``simulate_multicore_batch``, the ``--kernel`` CLI flag, or the
+``REPRO_KERNEL`` environment variable; ``REPRO_KERNEL_WORKERS`` sets the
+partition-thread count.  Every backend is locked bit-identical to
+``DataflowCore.run_fast`` by ``tests/property/test_prop_kernels.py``;
+backends that cannot guarantee a request's accumulation order fall back to
+the reference kernel automatically.
+"""
+
+from repro.core.kernels.base import (
+    DEFAULT_KERNEL,
+    FALLBACK_KERNEL,
+    KERNEL_ENV_VAR,
+    WORKERS_ENV_VAR,
+    KernelBackend,
+    KernelOutput,
+    KernelRequest,
+    auto_query_chunk,
+    available_kernels,
+    get_kernel,
+    map_partitions,
+    register_kernel,
+    resolve_kernel_name,
+    resolve_workers,
+    run_kernel,
+)
+from repro.core.kernels.scratchpad import BatchScratchpads, batch_scratchpads
+from repro.core.kernels.gather import GatherKernel, run_plan_gather
+from repro.core.kernels.streaming import StreamingKernel
+from repro.core.kernels.contraction import (
+    ContractionKernel,
+    ContractionOperand,
+    lower_plans,
+)
+from repro.core.kernels.auto import AutoKernel
+
+__all__ = [
+    "KernelBackend",
+    "KernelRequest",
+    "KernelOutput",
+    "register_kernel",
+    "get_kernel",
+    "available_kernels",
+    "resolve_kernel_name",
+    "resolve_workers",
+    "auto_query_chunk",
+    "map_partitions",
+    "run_kernel",
+    "BatchScratchpads",
+    "batch_scratchpads",
+    "GatherKernel",
+    "run_plan_gather",
+    "StreamingKernel",
+    "ContractionKernel",
+    "ContractionOperand",
+    "lower_plans",
+    "AutoKernel",
+    "DEFAULT_KERNEL",
+    "FALLBACK_KERNEL",
+    "KERNEL_ENV_VAR",
+    "WORKERS_ENV_VAR",
+]

@@ -1,0 +1,91 @@
+"""The reference kernel: broadcast gather + ``reduceat`` per partition.
+
+This is the PR-1 batched hot path, extracted verbatim from
+``core/dataflow.py``: for every partition the kept-lane values are gathered
+against the query block, reduced per row with ``np.add.reduceat`` (the
+numerical twin of the hardware's adder tree — same float32/float64 bits as
+:meth:`~repro.core.dataflow.DataflowCore.run_fast`), and the full
+``(Q, n_rows)`` score block is folded through the batch scratchpads once.
+
+It supports every request unconditionally, which is what makes it the
+registry's universal fallback; the other backends are judged bit-identical
+against it (and, transitively, against ``run_fast``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels.base import (
+    KernelBackend,
+    KernelOutput,
+    KernelRequest,
+    auto_query_chunk,
+    map_partitions,
+    register_kernel,
+)
+from repro.core.kernels.scratchpad import BatchScratchpads
+
+__all__ = ["GatherKernel", "run_plan_gather"]
+
+
+def run_plan_gather(
+    X: np.ndarray,
+    plan,
+    accumulate_dtype: np.dtype,
+    local_k: int,
+    query_chunk: "int | None" = None,
+):
+    """One partition plan against a query block (the reference computation).
+
+    Returns ``(results, accepts)`` for the partition — per-query local
+    :class:`~repro.core.reference.TopKResult` plus accept counts.
+    """
+    n_queries = X.shape[0]
+    pads = BatchScratchpads(n_queries, local_k)
+    if plan.n_rows == 0:
+        return pads.finish()
+    values = plan.kept_values.astype(accumulate_dtype)
+    # Chunk the query dimension so the (chunk, kept_lanes) intermediates stay
+    # cache-resident at large Q; rows are independent, so chunking cannot
+    # change any per-query bit.
+    chunk = query_chunk or auto_query_chunk(
+        len(values), np.dtype(accumulate_dtype).itemsize, n_queries
+    )
+    row_values = np.empty((n_queries, plan.n_rows), dtype=np.float64)
+    for q0 in range(0, n_queries, chunk):
+        block = X[q0 : q0 + chunk].astype(accumulate_dtype)
+        products = values[None, :] * block[:, plan.kept_idx]
+        reduced = np.add.reduceat(products, plan.starts, axis=1)
+        row_values[q0 : q0 + chunk] = reduced.astype(accumulate_dtype)
+    pads.fold(row_values, 0)
+    return pads.finish()
+
+
+class GatherKernel(KernelBackend):
+    """Reference backend (see module docstring)."""
+
+    name = "gather"
+    fallback = "gather"
+
+    def run(self, request: KernelRequest) -> KernelOutput:
+        def one(_i, plan):
+            return run_plan_gather(
+                request.X,
+                plan,
+                request.accumulate_dtype,
+                request.local_k,
+                request.query_chunk,
+            )
+
+        per_partition = map_partitions(one, request.plans, request.n_workers)
+        results = [r for r, _ in per_partition]
+        accepts = (
+            np.stack([a for _, a in per_partition])
+            if per_partition
+            else np.zeros((0, request.n_queries), dtype=np.int64)
+        )
+        return KernelOutput(results=results, accepts=accepts)
+
+
+register_kernel(GatherKernel())

@@ -48,6 +48,15 @@ __all__ = [
 
 _FORMAT_VERSION = 1
 
+#: Artifact-container version written when aux (derived) buffers ride along;
+#: plain artifacts stay at version 1 so pre-aux builds read them unchanged,
+#: and those builds reject version 2 with a clear version error instead of
+#: misdiagnosing the extra buffers as corruption.
+_AUX_FORMAT_VERSION = 2
+
+#: Container versions this build can read.
+_READABLE_VERSIONS = (1, 2)
+
 _HEADER_KEY = "header"
 
 
@@ -68,7 +77,13 @@ def artifact_digest(arrays: "dict[str, np.ndarray]") -> str:
     return sha.hexdigest()
 
 
-def save_artifact(path: "str | Path", kind: str, header: dict, arrays: "dict[str, np.ndarray]") -> str:
+def save_artifact(
+    path: "str | Path",
+    kind: str,
+    header: dict,
+    arrays: "dict[str, np.ndarray]",
+    aux_arrays: "dict[str, np.ndarray] | None" = None,
+) -> str:
     """Store named buffers + a JSON header as one uncompressed ``.npz``.
 
     The header is augmented with ``version``, ``kind`` and the content
@@ -77,18 +92,38 @@ def save_artifact(path: "str | Path", kind: str, header: dict, arrays: "dict[str
     Uncompressed on purpose: artifact load time is a serving cold-start
     cost.  The file lands at exactly ``path`` — an open handle is passed to
     ``np.savez`` so it cannot append ``.npz`` behind the caller's back.
+
+    ``aux_arrays`` are *derived* buffers (caches lowered from the primary
+    ones, e.g. a compiled collection's contraction operand): they are
+    persisted and integrity-checked under their own ``aux_digest``, but
+    excluded from the content ``digest`` so adding or dropping a derived
+    cache never changes an artifact's identity.
     """
-    if _HEADER_KEY in arrays:
-        raise FormatError(f"array name {_HEADER_KEY!r} is reserved for the header")
+    aux_arrays = aux_arrays or {}
+    reserved = {_HEADER_KEY}
+    for name in (*arrays, *aux_arrays):
+        if name in reserved:
+            raise FormatError(f"array name {name!r} is reserved for the header")
+    overlap = set(arrays) & set(aux_arrays)
+    if overlap:
+        raise FormatError(f"aux arrays duplicate primary names: {sorted(overlap)}")
     digest = artifact_digest(arrays)
     full_header = {
-        "version": _FORMAT_VERSION,
+        "version": _AUX_FORMAT_VERSION if aux_arrays else _FORMAT_VERSION,
         "kind": kind,
         "digest": digest,
         **header,
     }
+    if aux_arrays:
+        full_header["aux"] = sorted(aux_arrays)
+        full_header["aux_digest"] = artifact_digest(aux_arrays)
     with open(path, "wb") as handle:
-        np.savez(handle, **{_HEADER_KEY: np.array(json.dumps(full_header))}, **arrays)
+        np.savez(
+            handle,
+            **{_HEADER_KEY: np.array(json.dumps(full_header))},
+            **arrays,
+            **aux_arrays,
+        )
     return digest
 
 
@@ -99,7 +134,10 @@ def load_artifact(
 
     Raises :class:`FormatError` when the file has no header, declares a
     different ``kind`` or version, or (with ``verify=True``) when the stored
-    digest does not match the loaded buffers.
+    digest does not match the loaded buffers.  Auxiliary (derived) buffers
+    declared in the header's ``aux`` list are returned together with the
+    primary ones but verified against ``aux_digest`` instead of ``digest``
+    (see :func:`save_artifact`).
     """
     with np.load(path, allow_pickle=False) as archive:
         if _HEADER_KEY not in archive:
@@ -114,20 +152,31 @@ def load_artifact(
             raise FormatError(
                 f"{path} holds {header.get('kind')!r}, expected {kind!r}"
             )
-        if header.get("version") != _FORMAT_VERSION:
+        if header.get("version") not in _READABLE_VERSIONS:
             raise FormatError(
                 f"{path} has artifact version {header.get('version')!r}, "
-                f"this build reads version {_FORMAT_VERSION}"
+                f"this build reads versions {list(_READABLE_VERSIONS)}"
             )
         arrays = {name: archive[name] for name in archive.files if name != _HEADER_KEY}
+    aux_names = set(header.get("aux", []))
     if verify:
-        digest = artifact_digest(arrays)
+        primary = {k: v for k, v in arrays.items() if k not in aux_names}
+        digest = artifact_digest(primary)
         if digest != header.get("digest"):
             raise FormatError(
                 f"{path} failed its content-digest check "
                 f"(stored {header.get('digest')!r}, computed {digest!r}); "
                 "the artifact is corrupted or was edited by hand"
             )
+        if aux_names:
+            aux = {k: v for k, v in arrays.items() if k in aux_names}
+            aux_digest = artifact_digest(aux)
+            if aux_digest != header.get("aux_digest"):
+                raise FormatError(
+                    f"{path} failed its aux-digest check "
+                    f"(stored {header.get('aux_digest')!r}, computed "
+                    f"{aux_digest!r}); the derived buffers are corrupted"
+                )
     return header, arrays
 
 

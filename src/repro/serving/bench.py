@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.kernels import resolve_kernel_name, resolve_workers
 from repro.data.synthetic import synthetic_embeddings
 from repro.hw.design import design_by_name
 from repro.serving.batcher import MicroBatcher, poisson_arrivals
@@ -65,6 +66,8 @@ class ServeBenchConfig:
     router: str = "round-robin"
     cache_size: int = 0
     queue_capacity: "int | None" = None
+    kernel: "str | None" = None
+    kernel_workers: "int | None" = None
     extra: dict = field(default_factory=dict)
 
     def quick(self) -> "ServeBenchConfig":
@@ -132,6 +135,9 @@ def run_serve_bench(config: ServeBenchConfig) -> tuple[str, dict]:
         raise ConfigurationError(
             f"cache_size must be >= 0, got {config.cache_size}"
         )
+    # Fail fast on a bad kernel/worker spec before paying for the build.
+    kernel_name = resolve_kernel_name(config.kernel)
+    kernel_workers = resolve_workers(config.kernel_workers)
     rng = derive_rng(config.seed)
     compiled, design_name = _build_collection(config)
     n_cols = compiled.n_cols
@@ -141,6 +147,8 @@ def run_serve_bench(config: ServeBenchConfig) -> tuple[str, dict]:
             compiled,
             n_shards=config.n_shards,
             cores_per_shard=config.cores_per_shard,
+            kernel=config.kernel,
+            kernel_workers=config.kernel_workers,
         )
 
     engine = make_fleet()
@@ -209,6 +217,8 @@ def run_serve_bench(config: ServeBenchConfig) -> tuple[str, dict]:
             "router": config.router,
             "cache_size": config.cache_size,
             "queue_capacity": config.queue_capacity,
+            "kernel": kernel_name,
+            "kernel_workers": kernel_workers,
         },
         "report": report.to_dict(),
         "recall_at_k": recall,
@@ -235,6 +245,7 @@ def run_serve_bench(config: ServeBenchConfig) -> tuple[str, dict]:
             engine.describe(),
             "",
             f"offered load: {rate:.1f} QPS (Poisson), {frontend}",
+            f"kernel: {kernel_name}, {kernel_workers} worker(s)",
             report.render(),
             f"recall@{config.top_k} vs exact float64: {recall:.3f} "
             f"(over {config.recall_queries} queries)",

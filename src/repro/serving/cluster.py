@@ -361,7 +361,10 @@ class ClusterRuntime:
         Engines with ``query_batch(queries, top_k)`` (returning ``topk``,
         ``seconds``, ``energy_j``) — :class:`~repro.core.engine.TopKSpmvEngine`
         or :class:`~repro.serving.sharded.ShardedEngine`, typically all built
-        from one shared compiled collection.
+        from one shared compiled collection.  Each replica carries its own
+        batch-kernel selection (``kernel=``/``kernel_workers=`` at engine
+        construction, see :mod:`repro.core.kernels`); since every backend is
+        bit-identical, mixed-kernel replicas still replay deterministically.
     router:
         Policy name from :data:`repro.serving.router.ROUTERS` or a
         :class:`~repro.serving.router.Router` instance; its state is reset

@@ -76,6 +76,7 @@ class EngineShard:
     power_w: float
     collection: CompiledCollection
     stream_range: "tuple[int, int]"
+    _operand: "object | None" = None
 
     @property
     def n_streams(self) -> int:
@@ -90,6 +91,20 @@ class EngineShard:
     def stream_plans(self) -> "list[StreamPlan]":
         """This shard's batch plans, from the collection's shared cache."""
         return self.collection.stream_plans_range(*self.stream_range)
+
+    def contraction_operand(self):
+        """This shard's slice of the collection's contraction operand.
+
+        Cached per shard so the backend's SciPy matrix is built once; the
+        slice shares the parent operand's buffers (no copies).
+        """
+        if self._operand is None:
+            operand = self.collection.contraction_operand()
+            start, stop = self.stream_range
+            if (start, stop) != (0, self.collection.n_partitions):
+                operand = operand.partition_slice(start, stop)
+            self._operand = operand
+        return self._operand
 
 
 @dataclass(frozen=True)
@@ -126,6 +141,8 @@ class ShardedEngine:
         hbm: HBMConfig = ALVEO_U280_HBM,
         uram: URAMSpec = ALVEO_U280_URAM,
         constants: CalibrationConstants = CALIBRATION,
+        kernel: "str | None" = None,
+        kernel_workers: "int | None" = None,
     ):
         """Shard a collection across ``n_shards`` boards.
 
@@ -146,9 +163,16 @@ class ShardedEngine:
         cores_per_shard:
             ``None`` selects aligned mode (see module docstring); an integer
             gives every shard its own full board with that many cores.
+        kernel, kernel_workers:
+            Batch-query kernel backend and partition-thread count for every
+            shard (see :mod:`repro.core.kernels`); bit-neutral performance
+            knobs, ``None`` defers to ``$REPRO_KERNEL`` /
+            ``$REPRO_KERNEL_WORKERS``.
         """
         self.n_shards = check_positive_int(n_shards, "n_shards")
         self.constants = constants
+        self.kernel = kernel
+        self.kernel_workers = kernel_workers
         self.cores_per_shard = (
             None
             if cores_per_shard is None
@@ -310,10 +334,15 @@ class ShardedEngine:
         the slowest shard's makespan plus one host invocation (shards scan
         concurrently; consecutive scans overlap the host round-trip).
         """
+        from repro.core.kernels import resolve_kernel_name
+
         top_k = self._check_top_k(top_k)
         queries = self._check_query_block(queries)
         x_uram = self.design.quantize_query(queries)
         n_queries = queries.shape[0]
+        # As in the single-board engine: shards only lower/slice the
+        # contraction operand for backends that can use it.
+        pass_operand = resolve_kernel_name(self.kernel) in ("contraction", "auto")
         per_query: list[list[TopKResult]] = [[] for _ in range(n_queries)]
         totals = [DataflowStats() for _ in range(n_queries)]
         for shard in self.shards:
@@ -323,6 +352,9 @@ class ShardedEngine:
                 local_k=self.design.local_k,
                 accumulate_dtype=self.design.accumulate_dtype,
                 plans=shard.stream_plans(),
+                kernel=self.kernel,
+                n_workers=self.kernel_workers,
+                operand=shard.contraction_operand() if pass_operand else None,
             )
             for q in range(n_queries):
                 per_query[q].extend(local[q])

@@ -70,3 +70,105 @@ class TestCompileCommand:
     def test_compile_unknown_dataset_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["compile", "imagenet", str(tmp_path / "x.npz")])
+
+
+class TestKernelFlag:
+    def test_serve_bench_with_each_kernel(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "serve.json"
+        assert main([
+            "serve-bench", "--rows", "2000", "--cols", "128", "--n-queries", "16",
+            "--shards", "2", "--kernel", "contraction", "--kernel-workers", "2",
+            "--json", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "kernel: contraction, 2 worker(s)" in out
+        payload = json.loads(target.read_text())
+        assert payload["config"]["kernel"] == "contraction"
+        assert payload["config"]["kernel_workers"] == 2
+
+    def test_unknown_kernel_fails_fast(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            main([
+                "serve-bench", "--rows", "2000", "--cols", "128",
+                "--n-queries", "16", "--kernel", "warp",
+            ])
+
+    def test_kernel_env_var_drives_default(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_KERNEL", "streaming")
+        target = tmp_path / "serve.json"
+        assert main([
+            "serve-bench", "--rows", "2000", "--cols", "128", "--n-queries", "16",
+            "--shards", "2", "--json", str(target),
+        ]) == 0
+        capsys.readouterr()
+        assert json.loads(target.read_text())["config"]["kernel"] == "streaming"
+
+
+class TestBenchAll:
+    def _fake_bench_dir(self, tmp_path, passing=True):
+        bench_dir = tmp_path / "benchmarks"
+        results = bench_dir / "results"
+        results.mkdir(parents=True)
+        body = "assert True" if passing else "assert False"
+        (bench_dir / "bench_fake.py").write_text(
+            "import json, pathlib\n"
+            "def test_emit():\n"
+            "    out = pathlib.Path(__file__).parent / 'results' / 'fake.json'\n"
+            f"    out.write_text(json.dumps({{'speedup': 3.5}}))\n"
+            f"    {body}\n"
+        )
+        return bench_dir
+
+    def test_runs_benches_and_consolidates(self, tmp_path, capsys):
+        import json
+
+        bench_dir = self._fake_bench_dir(tmp_path)
+        assert main(["bench-all", "--benchmarks-dir", str(bench_dir)]) == 0
+        capsys.readouterr()
+        summary = json.loads((bench_dir / "results" / "BENCH_summary.json").read_text())
+        assert summary["runs"]["bench_fake.py"]["status"] == "passed"
+        assert summary["results"]["fake"] == {"speedup": 3.5}
+
+    def test_failed_floor_fails_the_run(self, tmp_path, capsys):
+        import json
+
+        bench_dir = self._fake_bench_dir(tmp_path, passing=False)
+        assert main(["bench-all", "--benchmarks-dir", str(bench_dir)]) == 1
+        capsys.readouterr()
+        summary = json.loads((bench_dir / "results" / "BENCH_summary.json").read_text())
+        assert summary["runs"]["bench_fake.py"]["status"] == "failed"
+
+    def test_only_filter_and_empty_run(self, tmp_path, capsys):
+        import json
+
+        bench_dir = self._fake_bench_dir(tmp_path)
+        (bench_dir / "results" / "fake.json").write_text('{"speedup": 3.5}')
+        assert main([
+            "bench-all", "--benchmarks-dir", str(bench_dir), "--only", "nomatch",
+        ]) == 0
+        capsys.readouterr()
+        summary = json.loads((bench_dir / "results" / "BENCH_summary.json").read_text())
+        assert summary["runs"] == {}
+        assert "fake" in summary["results"]  # pre-existing payloads still merge
+
+    def test_missing_benchmarks_dir_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="benchmarks directory"):
+            main(["bench-all", "--benchmarks-dir", str(tmp_path / "nope")])
+
+    def test_consolidate_tolerates_corrupt_json(self, tmp_path):
+        from repro.cli import consolidate_bench_results
+
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "good.json").write_text('{"x": 1}')
+        (results / "bad.json").write_text("{nope")
+        merged = consolidate_bench_results(results, {"bench_x.py": {"status": "passed"}})
+        assert merged["results"]["good"] == {"x": 1}
+        assert "error" in merged["results"]["bad"]
+        assert merged["runs"]["bench_x.py"]["status"] == "passed"

@@ -111,6 +111,106 @@ class TestRoundTrip:
         assert np.array_equal(loaded.matrix.indptr, matrix.indptr)
 
 
+class TestOperandPersistence:
+    """The contraction operand rides along as digest-neutral aux buffers."""
+
+    def test_operand_restored_verbatim(self, matrix, saved_path):
+        compiled = compile_collection(matrix, PAPER_DESIGNS["20b"])
+        want = compiled.contraction_operand()
+        loaded = CompiledCollection.load(saved_path)
+        assert loaded._operand is not None  # restored, not rebuilt
+        got = loaded.contraction_operand()
+        assert got.data.tobytes() == want.data.tobytes()
+        assert np.array_equal(got.indices, want.indices)
+        assert np.array_equal(got.indptr, want.indptr)
+        assert got.value_grid_bits == want.value_grid_bits
+        assert got.max_abs_row_raw == want.max_abs_row_raw
+
+    def test_operand_load_never_builds_plans(self, saved_path, monkeypatch):
+        import repro.core.collection as collection_mod
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("plan_stream invoked on the operand load path")
+
+        monkeypatch.setattr(collection_mod, "plan_stream", _boom)
+        loaded = CompiledCollection.load(saved_path)
+        assert loaded.contraction_operand().n_rows == loaded.n_rows
+
+    def test_operand_does_not_change_the_digest(self, matrix, saved_path):
+        """aux buffers stay outside the content digest: identity is stable."""
+        from repro.formats.io import artifact_digest
+
+        compiled = compile_collection(matrix, PAPER_DESIGNS["20b"])
+        assert compiled.digest == artifact_digest(compiled._payload_arrays())
+        assert CompiledCollection.load(saved_path).digest == compiled.digest
+
+    def test_pre_operand_artifacts_still_load(self, matrix, tmp_path):
+        """Artifacts written before the aux layer existed (PR-2/3) load and
+        serve; the operand is then rebuilt lazily."""
+        from repro.core.collection import COLLECTION_KIND
+        from repro.formats.io import save_artifact
+
+        compiled = compile_collection(matrix, PAPER_DESIGNS["20b"])
+        legacy = tmp_path / "legacy.npz"
+        header = compiled._header()
+        header.pop("operand")
+        save_artifact(legacy, COLLECTION_KIND, header, compiled._payload_arrays())
+        loaded = CompiledCollection.load(legacy)
+        assert loaded._operand is None
+        assert loaded.digest == compiled.digest
+        rebuilt = loaded.contraction_operand()
+        assert rebuilt.data.tobytes() == compiled.contraction_operand().data.tobytes()
+
+    def test_gateless_designs_persist_no_operand(self, matrix, tmp_path):
+        """float32/exact codecs never pass the contraction gate, so their
+        artifacts must not carry dead operand weight (and stay version 1,
+        readable by pre-aux builds)."""
+        import json as json_mod
+
+        path = tmp_path / "f32.npz"
+        compile_collection(matrix, PAPER_DESIGNS["f32"]).save(path)
+        with np.load(path, allow_pickle=False) as archive:
+            names = set(archive.files)
+            header = json_mod.loads(str(archive["header"]))
+        assert "op_data" not in names
+        assert header["version"] == 1
+        assert header["operand"] is None
+        loaded = CompiledCollection.load(path)
+        assert loaded._operand is None
+        assert loaded.contraction_operand().value_grid_bits is None
+
+    def test_aux_bearing_artifacts_are_version_2(self, saved_path):
+        import json as json_mod
+
+        with np.load(saved_path, allow_pickle=False) as archive:
+            header = json_mod.loads(str(archive["header"]))
+        assert header["version"] == 2
+        assert header["aux"] == ["op_data", "op_indices", "op_indptr"]
+
+    def test_corrupted_operand_rejected(self, saved_path, tmp_path):
+        with np.load(saved_path, allow_pickle=False) as archive:
+            entries = {name: archive[name] for name in archive.files}
+        arr = entries["op_data"].copy()
+        arr.reshape(-1)[0] += 1.0
+        entries["op_data"] = arr
+        bad = tmp_path / "bad-operand.npz"
+        np.savez(bad, **entries)
+        with pytest.raises(FormatError, match="aux-digest"):
+            CompiledCollection.load(bad)
+
+    def test_contraction_serving_from_loaded_artifact(self, matrix, queries, saved_path):
+        direct = TopKSpmvEngine(matrix, PAPER_DESIGNS["20b"], kernel="gather")
+        loaded = TopKSpmvEngine.from_collection(
+            CompiledCollection.load(saved_path), kernel="contraction"
+        )
+        batch_a = direct.query_batch(queries, top_k=10)
+        batch_b = loaded.query_batch(queries, top_k=10)
+        assert batch_a.dataflow == batch_b.dataflow
+        for ra, rb in zip(batch_a.topk, batch_b.topk):
+            assert ra.indices.tolist() == rb.indices.tolist()
+            assert ra.values.tobytes() == rb.values.tobytes()
+
+
 class TestLoadFailures:
     def _resave_with(self, src, dst, *, header=None, drop=None, corrupt=None):
         """Rewrite an artifact with a tampered header / missing / bit-flipped entry."""

@@ -4,8 +4,15 @@ import numpy as np
 import pytest
 
 from repro.arithmetic.codecs import ExactCodec, codec_for_design
-from repro.core.dataflow import DataflowCore, simulate_dataflow, simulate_multicore
+from repro.core.dataflow import (
+    DataflowCore,
+    _batch_scratchpads,
+    plan_stream,
+    simulate_dataflow,
+    simulate_multicore,
+)
 from repro.core.reference import topk_from_scores
+from repro.core.topk_tracker import TopKTracker
 from repro.errors import ConfigurationError
 from repro.formats.bscsr import BSCSRMatrix, encode_bscsr
 from repro.formats.layout import solve_layout
@@ -114,6 +121,116 @@ class TestValidation:
         for runner in (core.run, core.run_fast):
             with pytest.raises(ConfigurationError):
                 runner(stream)
+
+
+def _scratchpads_vs_trackers(row_values, local_k):
+    """Assert the batched scratchpads equal per-query sequential trackers."""
+    row_values = np.asarray(row_values, dtype=np.float64)
+    results, accepts = _batch_scratchpads(row_values, local_k)
+    row_ids = np.arange(row_values.shape[1], dtype=np.int64)
+    assert len(results) == row_values.shape[0]
+    for q in range(row_values.shape[0]):
+        tracker = TopKTracker(local_k)
+        want_accepts = sum(
+            tracker.insert(int(r), float(v)) for r, v in zip(row_ids, row_values[q])
+        )
+        want = tracker.result()
+        assert accepts[q] == want_accepts
+        assert results[q].indices.tolist() == want.indices.tolist()
+        assert results[q].values.tobytes() == want.values.tobytes()
+
+
+class TestBatchScratchpadsEdges:
+    """Non-finite fallback and small-partition edges of the batched pads."""
+
+    def test_nan_rows_multi_query(self):
+        # NaN in different positions per query: the sequential path must
+        # reject them exactly as the tracker does (NaN fails every >=).
+        row_values = np.array(
+            [
+                [0.5, np.nan, 0.25, 0.75, np.nan, 0.1],
+                [np.nan, np.nan, 0.9, 0.2, 0.4, 0.4],
+                [0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+            ]
+        )
+        _scratchpads_vs_trackers(row_values, local_k=2)
+
+    def test_nan_during_fill_diverges_per_query(self):
+        # Query 0 rejects a NaN while filling, query 1 fills normally:
+        # per-query fill levels diverge and must still match the trackers.
+        row_values = np.array(
+            [
+                [np.nan, 0.5, np.nan, 0.25, 0.125],
+                [0.5, 0.25, 0.75, 0.1, 0.9],
+            ]
+        )
+        _scratchpads_vs_trackers(row_values, local_k=3)
+
+    def test_positive_and_negative_infinity(self):
+        row_values = np.array(
+            [
+                [np.inf, 0.5, -np.inf, 0.25, np.inf],
+                [-np.inf, -np.inf, 0.5, np.inf, 0.5],
+            ]
+        )
+        _scratchpads_vs_trackers(row_values, local_k=2)
+
+    def test_all_nan_block(self):
+        row_values = np.full((2, 6), np.nan)
+        results, accepts = _batch_scratchpads(row_values, local_k=3)
+        assert accepts.tolist() == [0, 0]
+        assert all(len(r) == 0 for r in results)
+
+    def test_fewer_rows_than_k(self):
+        row_values = np.array([[0.5, 0.25], [0.75, 0.75]])
+        _scratchpads_vs_trackers(row_values, local_k=8)
+
+    def test_zero_rows(self):
+        results, accepts = _batch_scratchpads(np.empty((3, 0)), local_k=4)
+        assert accepts.tolist() == [0, 0, 0]
+        assert all(len(r) == 0 for r in results)
+
+    def test_heavy_ties_across_queries(self):
+        row_values = np.array(
+            [
+                [0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5],
+                [1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0],
+            ]
+        )
+        _scratchpads_vs_trackers(row_values, local_k=3)
+
+    def test_empty_partition_via_batch_path(self):
+        # An encoded stream with zero rows: every kernel-facing entry point
+        # must return empty results, not crash.
+        from repro.formats.csr import CSRMatrix
+
+        empty = CSRMatrix(
+            indptr=np.zeros(1, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int64),
+            data=np.empty(0),
+            n_cols=16,
+        )
+        stream = _encode(empty)
+        plan = plan_stream(stream)
+        assert plan.n_rows == 0
+        core = DataflowCore(4, np.ones((3, 16)))
+        results, stats = core.run_fast_batch(stream, plan=plan)
+        assert all(len(r) == 0 for r in results)
+        assert all(s.tracker_accepts == 0 for s in stats)
+
+    def test_nan_queries_through_batch_path(self, small_matrix):
+        # A NaN query component creates NaN row values end to end; the
+        # batched path must equal the sequential fast path bit for bit.
+        stream = _encode(small_matrix)
+        x = np.ones(small_matrix.n_cols)
+        x[3] = np.nan
+        queries = np.vstack([x, np.ones(small_matrix.n_cols)])
+        batch_results, batch_stats = DataflowCore(4, queries).run_fast_batch(stream)
+        for q in range(2):
+            single, single_stats = DataflowCore(4, queries[q]).run_fast(stream)
+            assert batch_results[q].indices.tolist() == single.indices.tolist()
+            assert batch_results[q].values.tobytes() == single.values.tobytes()
+            assert batch_stats[q] == single_stats
 
 
 class TestMulticore:

@@ -1,0 +1,406 @@
+"""Unit tests for the kernel backend subsystem (registry, gates, plumbing)."""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.codecs import ExactCodec, codec_for_design
+from repro.arithmetic.fixed_point import Q1_31
+from repro.core.collection import compile_collection
+from repro.core.dataflow import plan_stream, simulate_multicore_batch
+from repro.core.kernels import (
+    BatchScratchpads,
+    ContractionOperand,
+    KernelBackend,
+    KernelOutput,
+    KernelRequest,
+    auto_query_chunk,
+    available_kernels,
+    get_kernel,
+    lower_plans,
+    register_kernel,
+    resolve_kernel_name,
+    resolve_workers,
+    run_kernel,
+)
+from repro.core.reference import TopKResult
+from repro.data.synthetic import synthetic_embeddings
+from repro.errors import ConfigurationError
+from repro.formats.bscsr import BSCSRMatrix, encode_bscsr
+from repro.formats.csr import CSRMatrix
+from repro.formats.layout import solve_layout
+from repro.hw.design import PAPER_DESIGNS
+
+
+def _encoded(matrix, n_partitions=4, val_bits=20, arithmetic="fixed"):
+    codec = codec_for_design(val_bits, arithmetic)
+    layout = solve_layout(matrix.n_cols, val_bits)
+    return BSCSRMatrix.encode(
+        matrix, layout, codec, n_partitions=n_partitions, rows_per_packet=5
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_matrix():
+    return synthetic_embeddings(
+        n_rows=300, n_cols=64, avg_nnz=6, distribution="uniform", seed=3
+    )
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_kernels()
+        for expected in ("gather", "streaming", "contraction", "auto"):
+            assert expected in names
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            get_kernel("no-such-backend")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_kernel(get_kernel("gather"))
+
+    def test_resolve_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert resolve_kernel_name() == "auto"
+        assert resolve_kernel_name("streaming") == "streaming"
+
+    def test_resolve_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "contraction")
+        assert resolve_kernel_name() == "contraction"
+        # An explicit name still beats the environment.
+        assert resolve_kernel_name("gather") == "gather"
+
+    def test_resolve_env_typo_fails_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "contracton")
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            resolve_kernel_name()
+
+    def test_resolve_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_WORKERS", raising=False)
+        assert resolve_workers() == 1
+        assert resolve_workers(3) == 3
+        monkeypatch.setenv("REPRO_KERNEL_WORKERS", "4")
+        assert resolve_workers() == 4
+        monkeypatch.setenv("REPRO_KERNEL_WORKERS", "zero")
+        with pytest.raises(ConfigurationError):
+            resolve_workers()
+        with pytest.raises(ConfigurationError):
+            resolve_workers(0)
+
+
+class TestAutoQueryChunk:
+    def test_small_lane_counts_hit_the_cap(self):
+        assert auto_query_chunk(10, 8, 1024) == 128
+
+    def test_large_lane_counts_shrink_but_stay_vectorised(self):
+        chunk = auto_query_chunk(4_000_000, 8, 1024)
+        assert chunk == 8
+
+    def test_never_exceeds_query_count(self):
+        assert auto_query_chunk(10, 8, 5) == 5
+
+    def test_multiple_of_eight_between_bounds(self):
+        chunk = auto_query_chunk(20_000, 8, 1024)
+        assert 8 <= chunk <= 128 and chunk % 8 == 0
+
+
+class TestContractionGate:
+    """The provable-exactness gate of the contraction backend."""
+
+    def _request(self, matrix, X, dtype=np.float64, operand=None, plans=None):
+        if plans is None:
+            encoded = _encoded(matrix)
+            plans = [plan_stream(s) for s in encoded.streams]
+            if operand is None:
+                operand = lower_plans(plans, [s.codec for s in encoded.streams])
+        return KernelRequest(
+            X=np.atleast_2d(X),
+            plans=tuple(plans),
+            accumulate_dtype=np.dtype(dtype),
+            local_k=4,
+            operand=operand,
+        )
+
+    def test_quantised_queries_pass(self, tiny_matrix):
+        X = Q1_31.quantize(np.linspace(0, 1, 2 * 64).reshape(2, 64))
+        request = self._request(tiny_matrix, X)
+        assert get_kernel("contraction").supports(request)
+        assert get_kernel("auto").select(request).name == "contraction"
+
+    def test_unquantised_queries_fall_back(self, tiny_matrix):
+        # 1/3 is on no 2^-31 grid: order-independence is unprovable.
+        X = np.full((2, 64), 1.0 / 3.0)
+        request = self._request(tiny_matrix, X)
+        assert not get_kernel("contraction").supports(request)
+        assert get_kernel("auto").select(request).name == "streaming"
+
+    def test_float32_accumulation_falls_back(self, tiny_matrix):
+        X = Q1_31.quantize(np.linspace(0, 1, 64))
+        request = self._request(tiny_matrix, X, dtype=np.float32)
+        assert not get_kernel("contraction").supports(request)
+
+    def test_exact_codec_has_no_grid(self, tiny_matrix):
+        # Encode with the exact codec: no fixed value grid.
+        layout = solve_layout(tiny_matrix.n_cols, 64)
+        encoded = BSCSRMatrix.encode(
+            tiny_matrix, layout, ExactCodec(), n_partitions=4, rows_per_packet=5
+        )
+        plans = [plan_stream(s) for s in encoded.streams]
+        operand = lower_plans(plans, [s.codec for s in encoded.streams])
+        assert operand.value_grid_bits is None
+        X = Q1_31.quantize(np.linspace(0, 1, 64))
+        request = self._request(tiny_matrix, X, operand=operand, plans=plans)
+        assert not get_kernel("contraction").supports(request)
+
+    def test_dynamic_range_overflow_falls_back(self, tiny_matrix):
+        encoded = _encoded(tiny_matrix)
+        plans = [plan_stream(s) for s in encoded.streams]
+        operand = lower_plans(plans, [s.codec for s in encoded.streams])
+        # Same grid, but a row magnitude that blows the 2^52 budget.
+        operand = ContractionOperand(
+            data=operand.data,
+            indices=operand.indices,
+            indptr=operand.indptr,
+            part_rows=operand.part_rows,
+            value_grid_bits=operand.value_grid_bits,
+            max_abs_row_raw=float(2**60),
+        )
+        X = Q1_31.quantize(np.linspace(0, 1, 64))
+        request = self._request(tiny_matrix, X, operand=operand, plans=plans)
+        assert not get_kernel("contraction").supports(request)
+
+    def test_mismatched_operand_falls_back(self, tiny_matrix):
+        encoded = _encoded(tiny_matrix)
+        plans = [plan_stream(s) for s in encoded.streams]
+        operand = lower_plans(plans[:2], [s.codec for s in encoded.streams[:2]])
+        X = Q1_31.quantize(np.linspace(0, 1, 64))
+        request = self._request(tiny_matrix, X, operand=operand, plans=plans)
+        assert not get_kernel("contraction").supports(request)
+
+    def test_missing_operand_falls_back(self, tiny_matrix):
+        X = Q1_31.quantize(np.linspace(0, 1, 64))
+        request = self._request(tiny_matrix, X, operand=None)
+        request = KernelRequest(
+            X=request.X,
+            plans=request.plans,
+            accumulate_dtype=request.accumulate_dtype,
+            local_k=request.local_k,
+            operand=None,
+        )
+        assert not get_kernel("contraction").supports(request)
+        # run_kernel silently substitutes the declared fallback.
+        out = run_kernel(request, "contraction")
+        want = run_kernel(request, "gather")
+        assert np.array_equal(out.accepts, want.accepts)
+
+    def test_simulate_lowers_operand_for_explicit_contraction(self, tiny_matrix):
+        # kernel="contraction" without an operand lowers one on the fly.
+        encoded = _encoded(tiny_matrix)
+        X = Q1_31.quantize(np.linspace(0, 1, 2 * 64).reshape(2, 64))
+        got, got_stats = simulate_multicore_batch(
+            encoded, X, local_k=4, kernel="contraction"
+        )
+        want, want_stats = simulate_multicore_batch(
+            encoded, X, local_k=4, kernel="gather"
+        )
+        assert got_stats == want_stats
+        for gq, wq in zip(got, want):
+            for g, w in zip(gq, wq):
+                assert g.indices.tolist() == w.indices.tolist()
+                assert g.values.tobytes() == w.values.tobytes()
+
+
+class TestOperandLowering:
+    def test_rows_and_lanes_cover_every_partition(self, tiny_matrix):
+        encoded = _encoded(tiny_matrix, n_partitions=5)
+        plans = [plan_stream(s) for s in encoded.streams]
+        operand = lower_plans(plans, [s.codec for s in encoded.streams])
+        assert operand.n_rows == sum(p.n_rows for p in plans)
+        assert operand.part_rows.tolist() == [p.n_rows for p in plans]
+        assert len(operand.data) == sum(len(p.kept_values) for p in plans)
+        assert operand.value_grid_bits == 19  # Q1.19 for the 20-bit design
+
+    def test_partition_slice_shares_buffers(self, tiny_matrix):
+        encoded = _encoded(tiny_matrix, n_partitions=5)
+        plans = [plan_stream(s) for s in encoded.streams]
+        operand = lower_plans(plans, [s.codec for s in encoded.streams])
+        part = operand.partition_slice(1, 3)
+        assert part.n_rows == plans[1].n_rows + plans[2].n_rows
+        assert part.data.base is not None  # a view, not a copy
+        assert part.indptr[0] == 0
+        # Slice scores equal the full operand's row window.
+        X = Q1_31.quantize(np.linspace(0, 1, 64))
+        full = operand.matrix(64) @ X
+        sliced = part.matrix(64) @ X
+        offsets = operand.part_offsets
+        assert np.array_equal(full[offsets[1] : offsets[3]], sliced)
+
+    def test_codec_count_mismatch_rejected(self, tiny_matrix):
+        encoded = _encoded(tiny_matrix)
+        plans = [plan_stream(s) for s in encoded.streams]
+        with pytest.raises(ConfigurationError, match="codecs"):
+            lower_plans(plans, [encoded.streams[0].codec])
+
+    def test_collection_caches_operand(self, tiny_matrix):
+        collection = compile_collection(tiny_matrix, PAPER_DESIGNS["20b"])
+        assert collection._operand is None  # lazy until first batch/save
+        operand = collection.contraction_operand()
+        assert collection.contraction_operand() is operand
+
+
+class TestStreamingSkip:
+    def test_skewed_rows_are_skipped_without_changing_bits(self):
+        # Rows sorted by decreasing magnitude: after the scratchpads fill,
+        # whole tail blocks fall below every threshold and are never
+        # gathered.
+        rng = np.random.default_rng(5)
+        n_rows, n_cols = 20_000, 64
+        rows = []
+        for r in range(n_rows):
+            cols = np.sort(rng.choice(n_cols, size=6, replace=False))
+            scale = 2.0 ** (-(r // 500))  # plateaus spanning 2^0 .. 2^-39
+            rows.append((cols.astype(np.int64), scale * (0.5 + 0.5 * rng.random(6))))
+        matrix = CSRMatrix.from_rows(rows, n_cols=n_cols)
+        layout = solve_layout(n_cols, 64)
+        stream = encode_bscsr(matrix, layout, ExactCodec(), rows_per_packet=5)
+        encoded = BSCSRMatrix(
+            streams=[stream], row_offsets=np.array([0]), n_rows=n_rows, n_cols=n_cols
+        )
+        X = rng.random((8, n_cols))
+        want, want_stats = simulate_multicore_batch(
+            encoded, X, local_k=4, kernel="gather"
+        )
+        backend = get_kernel("streaming")
+        got, got_stats = simulate_multicore_batch(
+            encoded, X, local_k=4, kernel="streaming"
+        )
+        assert backend.last_skip_fraction > 0.5
+        assert got_stats == want_stats
+        for gq, wq in zip(got, want):
+            for g, w in zip(gq, wq):
+                assert g.indices.tolist() == w.indices.tolist()
+                assert g.values.tobytes() == w.values.tobytes()
+
+    def test_uniform_rows_skip_nothing_and_match(self, tiny_matrix):
+        encoded = _encoded(tiny_matrix, n_partitions=2)
+        X = np.linspace(0, 1, 3 * 64).reshape(3, 64)
+        want, _ = simulate_multicore_batch(encoded, X, local_k=4, kernel="gather")
+        got, _ = simulate_multicore_batch(encoded, X, local_k=4, kernel="streaming")
+        for gq, wq in zip(got, want):
+            for g, w in zip(gq, wq):
+                assert g.values.tobytes() == w.values.tobytes()
+
+
+class _SharedBufferKernel(KernelBackend):
+    """Stub returning the *same* TopKResult object for every partition.
+
+    Models a backend that caches its local-result buffers; the multicore
+    driver must globalise into fresh arrays instead of offsetting these in
+    place (the PR-1..3 `__iadd__` aliasing hazard).
+    """
+
+    name = "shared-buffer-stub"
+
+    def run(self, request):
+        shared = TopKResult(
+            indices=np.array([0, 1], dtype=np.int64),
+            values=np.array([2.0, 1.0]),
+        )
+        self.shared = shared
+        n_parts = len(request.plans)
+        results = [[shared] * request.n_queries for _ in range(n_parts)]
+        accepts = np.zeros((n_parts, request.n_queries), dtype=np.int64)
+        return KernelOutput(results=results, accepts=accepts)
+
+
+_SHARED_STUB = register_kernel(_SharedBufferKernel())
+
+
+class TestGlobalisationAliasing:
+    """Regression for the in-place ``indices.__iadd__(offset)`` hazard."""
+
+    def test_shared_backend_buffers_are_never_mutated(self, tiny_matrix):
+        encoded = _encoded(tiny_matrix, n_partitions=4)
+        X = np.linspace(0, 1, 2 * 64).reshape(2, 64)
+        results, _ = simulate_multicore_batch(
+            encoded, X, local_k=2, kernel=_SHARED_STUB.name
+        )
+        # The stub's buffer must still hold its local ids...
+        assert _SHARED_STUB.shared.indices.tolist() == [0, 1]
+        # ...while every partition's returned ids carry exactly its offset
+        # (in-place offsetting of the shared array would compound them).
+        for q_results in results:
+            for local, offset in zip(q_results, encoded.row_offsets):
+                assert local.indices.tolist() == [offset, offset + 1]
+
+    def test_batch_results_stable_across_repeat_runs(self, tiny_matrix):
+        # End-to-end: two identical runs over cached plans must agree even
+        # if a backend reuses intermediates between calls.
+        collection = compile_collection(tiny_matrix, PAPER_DESIGNS["20b"])
+        X = Q1_31.quantize(np.linspace(0, 1, 2 * 64).reshape(2, 64))
+        first, _ = simulate_multicore_batch(
+            collection.encoded,
+            X,
+            local_k=4,
+            plans=collection.stream_plans(),
+            operand=collection.contraction_operand(),
+        )
+        second, _ = simulate_multicore_batch(
+            collection.encoded,
+            X,
+            local_k=4,
+            plans=collection.stream_plans(),
+            operand=collection.contraction_operand(),
+        )
+        for fq, sq in zip(first, second):
+            for f, s in zip(fq, sq):
+                assert f.indices.tolist() == s.indices.tolist()
+                assert f.values.tobytes() == s.values.tobytes()
+
+
+class TestEngineAndShardedKernelThreading:
+    """kernel=/kernel_workers= reach the engines and stay bit-neutral."""
+
+    @pytest.mark.parametrize("kernel", ["gather", "streaming", "contraction", "auto"])
+    def test_engine_query_batch_matches_across_kernels(self, tiny_matrix, kernel):
+        from repro.core.engine import TopKSpmvEngine
+
+        collection = compile_collection(tiny_matrix, PAPER_DESIGNS["20b"])
+        reference = TopKSpmvEngine(collection, kernel="gather")
+        engine = TopKSpmvEngine(collection, kernel=kernel, kernel_workers=2)
+        rng = np.random.default_rng(9)
+        X = rng.random((5, tiny_matrix.n_cols))
+        X /= np.linalg.norm(X, axis=1, keepdims=True)
+        want = reference.query_batch(X, top_k=5)
+        got = engine.query_batch(X, top_k=5)
+        for g, w in zip(got.topk, want.topk):
+            assert g.indices.tolist() == w.indices.tolist()
+            assert g.values.tobytes() == w.values.tobytes()
+        assert got.dataflow == want.dataflow
+
+    @pytest.mark.parametrize("cores_per_shard", [None, 4])
+    def test_sharded_engine_matches_across_kernels(self, tiny_matrix, cores_per_shard):
+        from repro.serving.sharded import ShardedEngine
+
+        collection = compile_collection(tiny_matrix, PAPER_DESIGNS["20b"])
+        rng = np.random.default_rng(11)
+        X = rng.random((4, tiny_matrix.n_cols))
+        X /= np.linalg.norm(X, axis=1, keepdims=True)
+        want = ShardedEngine(
+            collection,
+            n_shards=2,
+            cores_per_shard=cores_per_shard,
+            kernel="gather",
+        ).query_batch(X, top_k=6)
+        for kernel in ("streaming", "contraction", "auto"):
+            got = ShardedEngine(
+                collection,
+                n_shards=2,
+                cores_per_shard=cores_per_shard,
+                kernel=kernel,
+            ).query_batch(X, top_k=6)
+            for g, w in zip(got.topk, want.topk):
+                assert g.indices.tolist() == w.indices.tolist(), kernel
+                assert g.values.tobytes() == w.values.tobytes(), kernel
+            assert got.dataflow == want.dataflow
