@@ -32,7 +32,11 @@ from dataclasses import asdict, replace
 import numpy as np
 
 from repro.core.dataflow import StreamPlan, plan_stream
-from repro.core.kernels.contraction import ContractionOperand, lower_plans
+from repro.core.kernels.contraction import (
+    ContractionOperand,
+    codec_grid_bits,
+    lower_plans,
+)
 from repro.errors import ConfigurationError, FormatError
 from repro.formats.bscsr import BSCSRMatrix, BSCSRStream
 from repro.formats.csr import CSRMatrix
@@ -212,6 +216,32 @@ class CompiledCollection:
                 self._plans[i] = plan_stream(self.encoded.streams[i])
         return self._plans[start:stop]
 
+    def contraction_grid_bits(self) -> "int | None":
+        """Fraction bits of the design's value grid, without lowering.
+
+        ``None`` (float32/exact codecs) means the contraction kernel's
+        exactness gate can never pass for this collection — callers use
+        this to skip the O(nnz) :meth:`contraction_operand` build on the
+        save and auto-kernel paths for gateless designs.
+        """
+        return codec_grid_bits(self.design.codec)
+
+    def wants_contraction_operand(self, kernel_name: str) -> bool:
+        """Whether a *resolved* kernel name should be handed the operand.
+
+        The single operand-eligibility policy for every engine:
+        ``"contraction"`` and ``"auto"`` get the cached operand only when
+        the design's codec grid could ever pass the exactness gate — a
+        gateless design is guaranteed to fall back to gather with
+        identical bits whether the operand is present or not (and the
+        dataflow driver never re-lowers for it either), so nobody pays
+        its O(nnz) build or memory cost.  Gather/streaming never take it.
+        """
+        return (
+            kernel_name in ("contraction", "auto")
+            and self.contraction_grid_bits() is not None
+        )
+
     def contraction_operand(self) -> ContractionOperand:
         """The collection-level CSR operand for the contraction kernel.
 
@@ -294,10 +324,13 @@ class CompiledCollection:
         before it existed still load — the operand is then rebuilt lazily.
         Designs with no fixed value grid (float32/exact codecs) persist
         nothing: the contraction kernel is permanently gated off for them,
-        so the operand would be dead weight in every load.
+        so the operand would be dead weight in every load — they
+        short-circuit on the codec grid and never pay the lowering.
         """
+        if self.contraction_grid_bits() is None:
+            return {}
         operand = self.contraction_operand()
-        if operand.value_grid_bits is None:
+        if operand.value_grid_bits is None:  # e.g. an empty collection
             return {}
         return {
             "op_data": operand.data,
@@ -307,14 +340,14 @@ class CompiledCollection:
 
     def _header(self) -> dict:
         design_fields = asdict(self.design)
-        operand = self.contraction_operand()
-        if operand.value_grid_bits is None:
-            operand_meta = None
-        else:
-            operand_meta = {
-                "value_grid_bits": operand.value_grid_bits,
-                "max_abs_row_raw": operand.max_abs_row_raw,
-            }
+        operand_meta = None
+        if self.contraction_grid_bits() is not None:
+            operand = self.contraction_operand()
+            if operand.value_grid_bits is not None:
+                operand_meta = {
+                    "value_grid_bits": operand.value_grid_bits,
+                    "max_abs_row_raw": operand.max_abs_row_raw,
+                }
         return {
             "design": design_fields,
             "codec": self.design.codec.name,

@@ -472,6 +472,7 @@ def simulate_multicore_batch(
     """
     from repro.core.kernels import (
         KernelRequest,
+        codecs_grid_bits,
         lower_plans,
         resolve_kernel_name,
         resolve_workers,
@@ -496,7 +497,11 @@ def simulate_multicore_batch(
 
     kernel_name = resolve_kernel_name(kernel)
     if operand is None and kernel_name == "contraction":
-        operand = lower_plans(plans, [s.codec for s in matrix.streams])
+        # Lowering is O(nnz): skip it when the codec grid set can never
+        # pass the exactness gate (the backend then falls back exactly as
+        # it would with an ungated operand).
+        if codecs_grid_bits(s.codec for s in matrix.streams) is not None:
+            operand = lower_plans(plans, [s.codec for s in matrix.streams])
     request = KernelRequest(
         X=X,
         plans=tuple(plans),

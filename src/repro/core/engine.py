@@ -334,11 +334,14 @@ class TopKSpmvEngine:
         queries = self._check_query_block(queries)
         x_uram = self.design.quantize_query(queries)
         # Only lower/pass the contraction operand when the resolved backend
-        # can actually use it — an explicit gather/streaming engine must not
-        # pay the operand's memory or build cost.
+        # can actually use it (see CompiledCollection.wants_contraction_
+        # operand for the policy) — gather/streaming engines and gateless
+        # auto never pay the operand's O(nnz) build or memory cost.
         operand = (
             self.collection.contraction_operand()
-            if resolve_kernel_name(self.kernel) in ("contraction", "auto")
+            if self.collection.wants_contraction_operand(
+                resolve_kernel_name(self.kernel)
+            )
             else None
         )
         return simulate_multicore_batch(

@@ -50,6 +50,8 @@ from repro.core.kernels.streaming import StreamingKernel
 from repro.core.kernels.contraction import (
     ContractionKernel,
     ContractionOperand,
+    codec_grid_bits,
+    codecs_grid_bits,
     lower_plans,
 )
 from repro.core.kernels.auto import AutoKernel
@@ -73,6 +75,8 @@ __all__ = [
     "StreamingKernel",
     "ContractionKernel",
     "ContractionOperand",
+    "codec_grid_bits",
+    "codecs_grid_bits",
     "lower_plans",
     "AutoKernel",
     "DEFAULT_KERNEL",

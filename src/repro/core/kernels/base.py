@@ -122,10 +122,24 @@ class KernelOutput:
     ``results[p][q]`` is partition ``p``'s local
     :class:`~repro.core.reference.TopKResult` for query ``q`` (partition-
     local row ids); ``accepts[p, q]`` its tracker-accept count.
+
+    ``skipped_rows`` / ``total_rows`` count (row, query) pairs whose
+    gather the backend provably skipped vs. offered in this run —
+    diagnostics only (never part of any result bit), and zero for
+    backends that do not skip.  Being carried on the per-run output,
+    they are safe under concurrent engines and thread-parallel
+    partitions, unlike any state on the registered backend singleton.
     """
 
     results: "list[list]"
     accepts: np.ndarray
+    skipped_rows: int = 0
+    total_rows: int = 0
+
+    @property
+    def skip_fraction(self) -> float:
+        """Skipped share of this run's (row, query) pairs (0.0 when none)."""
+        return self.skipped_rows / self.total_rows if self.total_rows else 0.0
 
 
 class KernelBackend:

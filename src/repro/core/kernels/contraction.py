@@ -50,7 +50,13 @@ from repro.core.kernels.base import (
 from repro.core.kernels.scratchpad import BatchScratchpads
 from repro.errors import ConfigurationError
 
-__all__ = ["ContractionOperand", "lower_plans", "ContractionKernel"]
+__all__ = [
+    "ContractionOperand",
+    "codec_grid_bits",
+    "codecs_grid_bits",
+    "lower_plans",
+    "ContractionKernel",
+]
 
 #: Queries must sit on this grid (Q1.31; the signed sQ1.30 grid is a subset).
 QUERY_GRID_BITS = 31
@@ -121,11 +127,31 @@ class ContractionOperand:
         )
 
 
-def _codec_grid_bits(codec) -> "int | None":
-    """Fraction bits of a codec's value grid, if it provably has one."""
+def codec_grid_bits(codec) -> "int | None":
+    """Fraction bits of a codec's value grid, if it provably has one.
+
+    ``None`` means the exactness gate can never pass for values encoded by
+    this codec (float32/exact codecs): callers can use that to skip the
+    O(nnz) operand lowering entirely instead of building an operand whose
+    ``value_grid_bits`` would be ``None``.
+    """
     fmt = getattr(codec, "fmt", None)
     if fmt is not None and hasattr(fmt, "fraction_bits"):
         return int(fmt.fraction_bits)
+    return None
+
+
+def codecs_grid_bits(codecs) -> "int | None":
+    """The one value grid shared by every codec in a set, if any.
+
+    ``None`` — empty set, mixed grids, or any grid-less codec — means the
+    exactness gate can never pass for values they encode: the single
+    eligibility rule behind both lowering an operand and skipping the
+    lowering entirely.
+    """
+    bits = {codec_grid_bits(c) for c in codecs}
+    if len(bits) == 1 and None not in bits:
+        return bits.pop()
     return None
 
 
@@ -162,16 +188,14 @@ def lower_plans(plans, codecs=None) -> ContractionOperand:
     grid_bits: "int | None" = None
     max_abs_row_raw = 0.0
     if codecs is not None and plans:
-        bits = {_codec_grid_bits(c) for c in codecs}
-        if len(bits) == 1 and None not in bits:
-            grid_bits = bits.pop()
-            if len(data):
-                row_abs = np.add.reduceat(np.abs(data), indptr[:-1])
-                # Rows of width 0 cannot occur (empty rows carry a
-                # placeholder lane), so reduceat segments are well-formed.
-                max_abs_row_raw = float(row_abs.max(initial=0.0)) * float(
-                    2**grid_bits
-                )
+        grid_bits = codecs_grid_bits(codecs)
+        if grid_bits is not None and len(data):
+            row_abs = np.add.reduceat(np.abs(data), indptr[:-1])
+            # Rows of width 0 cannot occur (empty rows carry a
+            # placeholder lane), so reduceat segments are well-formed.
+            max_abs_row_raw = float(row_abs.max(initial=0.0)) * float(
+                2**grid_bits
+            )
     return ContractionOperand(
         data=data,
         indices=indices,

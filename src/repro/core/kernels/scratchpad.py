@@ -11,19 +11,21 @@ Why incremental folding is exact
 --------------------------------
 Two invariants of the tracker make any block/window partitioning safe:
 
-* while a scratchpad holds fewer than ``k`` entries, every offered row is
-  accepted into the next free slot (the argmin always lands on the first
-  −inf register), so the fill is a straight copy as long as no NaN is
-  offered (NaN fails every ``>=`` compare and is never accepted);
+* while a scratchpad holds fewer than ``k`` entries, every offered
+  *finite* row is accepted into the next free slot (the argmin always
+  lands on the first −inf register), so the fill is a straight copy as
+  long as every value is finite — NaN fails every ``>=`` compare and is
+  never accepted, and an accepted −inf leaves the argmin parked on its
+  own slot, so the next row overwrites it instead of taking a free slot;
 * once full, the eviction threshold (current worst) never decreases, so a
   row below the threshold *at any earlier time* is rejected no matter when
   it arrives — pre-filtering a window against the threshold at the
   window's start can only drop rows the tracker would reject anyway, and
   the surviving rows are re-checked sequentially in arrival order.
 
-Blocks containing NaN take a per-row sequential path that mirrors
-:meth:`TopKTracker.insert` operation for operation, so the guarantee holds
-unconditionally.
+Blocks containing any non-finite value (NaN or ±inf) take a per-row
+sequential path that mirrors :meth:`TopKTracker.insert` operation for
+operation, so the guarantee holds unconditionally.
 """
 
 from __future__ import annotations
@@ -53,8 +55,9 @@ class BatchScratchpads:
         #: Rows offered (or provably-rejected-and-skipped) so far; controls
         #: the doubling window growth only — never any result bit.
         self._seen = 0
-        #: False once a NaN block forced the sequential path; the fill
-        #: shortcut then stays off (per-query fill levels may diverge).
+        #: False once a non-finite block forced the sequential path; the
+        #: fill shortcut then stays off (per-query fill levels and slot
+        #: layouts may diverge).
         self._uniform = True
 
     # ------------------------------------------------------------------ #
@@ -90,16 +93,17 @@ class BatchScratchpads:
             )
         if n_block == 0:
             return
-        if np.isnan(row_values).any():
+        if not np.isfinite(row_values).all():
             self._fold_sequential(row_values, first_row)
             return
 
         local_k = self.local_k
         start = 0
         if self._uniform and self._seen < local_k:
-            # Fill: rows land in slots seen..k-1 unconditionally (any
-            # non-NaN value passes ``>= -inf``), identically for every
-            # query, so the fill is one sliced copy.
+            # Fill: finite rows land in slots seen..k-1 unconditionally
+            # (every finite value passes ``>= -inf`` and raises its slot
+            # above −inf, keeping the argmin on the next free register),
+            # identically for every query, so the fill is one sliced copy.
             fill = min(local_k - self._seen, n_block)
             head = row_values[:, :fill].tolist()
             slot = self._seen
@@ -143,12 +147,13 @@ class BatchScratchpads:
             lo = hi
 
     def _fold_sequential(self, row_values: np.ndarray, first_row: int) -> None:
-        """NaN-bearing block: mirror ``TopKTracker.insert`` row by row.
+        """Non-finite block: mirror ``TopKTracker.insert`` row by row.
 
         ``list.index(min(...))`` picks the first minimal slot exactly as
-        the tracker's priority-encoder argmin does; NaN fails ``>=`` and is
-        never accepted, so scratchpad values (and hence ``min``) stay
-        NaN-free.
+        the tracker's priority-encoder argmin does — including an accepted
+        −inf, which lands on (and keeps re-targeting) the first −inf slot
+        rather than the next free one; NaN fails ``>=`` and is never
+        accepted, so scratchpad values (and hence ``min``) stay NaN-free.
         """
         self._uniform = False
         values = row_values.tolist()

@@ -78,20 +78,25 @@ class StreamingKernel(KernelBackend):
     fallback = "gather"
 
     def __init__(self):
-        #: Diagnostic only (not part of any result): fraction of rows whose
-        #: gather was skipped in the most recent single-threaded run.
+        #: Convenience mirror of the most recent run's
+        #: :attr:`KernelOutput.skip_fraction`, written once per :meth:`run`.
+        #: This backend is a registered singleton, so concurrent engines or
+        #: benchmarks can observe each other's runs here — read the
+        #: fraction off the returned :class:`KernelOutput` whenever more
+        #: than one consumer may be driving the kernel.
         self.last_skip_fraction = 0.0
 
     def run(self, request: KernelRequest) -> KernelOutput:
         acc = np.dtype(request.accumulate_dtype)
-        skipped_rows = 0
-        total_rows = 0
 
         def one(_i, plan):
-            nonlocal skipped_rows, total_rows
+            # Returns (results, accepts, skipped, total): the skip counters
+            # ride the per-partition return value so thread-pool workers
+            # never share mutable state (no lost updates at n_workers > 1).
             n_queries = request.n_queries
             if plan.n_rows == 0:
-                return BatchScratchpads(n_queries, request.local_k).finish()
+                return (*BatchScratchpads(n_queries, request.local_k).finish(), 0, 0)
+            skipped = 0
             values = plan.kept_values.astype(acc)
             n_lanes = len(values)
             starts = plan.starts
@@ -118,7 +123,7 @@ class StreamingKernel(KernelBackend):
                     bound = block_peak[b] * xmax
                     if np.all(bound < pads.worst_thresholds()):
                         pads.skip_rows(r1 - r0)
-                        skipped_rows += (r1 - r0) * Xc.shape[0]
+                        skipped += (r1 - r0) * Xc.shape[0]
                         continue
                     l0 = int(starts[r0])
                     l1 = int(seg_ends[r1 - 1])
@@ -129,19 +134,25 @@ class StreamingKernel(KernelBackend):
                 chunk_results, chunk_accepts = pads.finish()
                 results[q0 : q0 + Xc.shape[0]] = chunk_results
                 accepts[q0 : q0 + Xc.shape[0]] = chunk_accepts
-            total_rows += plan.n_rows * n_queries
-            return results, accepts
+            return results, accepts, skipped, plan.n_rows * n_queries
 
         per_partition = map_partitions(one, request.plans, request.n_workers)
-        if request.n_workers <= 1:
-            self.last_skip_fraction = skipped_rows / total_rows if total_rows else 0.0
-        results = [r for r, _ in per_partition]
+        skipped_rows = sum(p[2] for p in per_partition)
+        total_rows = sum(p[3] for p in per_partition)
+        results = [p[0] for p in per_partition]
         accepts = (
-            np.stack([a for _, a in per_partition])
+            np.stack([p[1] for p in per_partition])
             if per_partition
             else np.zeros((0, request.n_queries), dtype=np.int64)
         )
-        return KernelOutput(results=results, accepts=accepts)
+        output = KernelOutput(
+            results=results,
+            accepts=accepts,
+            skipped_rows=skipped_rows,
+            total_rows=total_rows,
+        )
+        self.last_skip_fraction = output.skip_fraction
+        return output
 
 
 register_kernel(StreamingKernel())

@@ -341,8 +341,11 @@ class ShardedEngine:
         x_uram = self.design.quantize_query(queries)
         n_queries = queries.shape[0]
         # As in the single-board engine: shards only lower/slice the
-        # contraction operand for backends that can use it.
-        pass_operand = resolve_kernel_name(self.kernel) in ("contraction", "auto")
+        # contraction operand for backends that can use it — one policy,
+        # owned by CompiledCollection.wants_contraction_operand.
+        pass_operand = self.collection.wants_contraction_operand(
+            resolve_kernel_name(self.kernel)
+        )
         per_query: list[list[TopKResult]] = [[] for _ in range(n_queries)]
         totals = [DataflowStats() for _ in range(n_queries)]
         for shard in self.shards:

@@ -21,6 +21,7 @@ from repro.core.dataflow import (
     simulate_multicore,
     simulate_multicore_batch,
 )
+from repro.core.kernels import BatchScratchpads
 from repro.core.topk_tracker import TopKTracker
 from repro.formats.bscsr import BSCSRMatrix, encode_bscsr
 from repro.formats.csr import CSRMatrix
@@ -212,6 +213,50 @@ class TestTrackerInsertManyEquivalence:
         slow_accepts = sum(slow.insert(int(r), float(v)) for r, v in zip(rows, values))
         assert fast_accepts == slow_accepts
         assert fast.result().indices.tolist() == slow.result().indices.tolist()
+
+
+class TestScratchpadsNonFiniteEquivalence:
+    """Incremental scratchpad folds vs sequential trackers under ±inf/NaN.
+
+    The finite-value suites above can never produce a non-finite row
+    score, so this class draws from a pool that includes −inf (an accepted
+    −inf parks the tracker argmin on its own slot — the fill shortcut's
+    divergence case), +inf and NaN, across multiple fold boundaries.
+    """
+
+    @given(
+        n_queries=st.integers(1, 3),
+        k=st.integers(1, 5),
+        widths=st.lists(st.integers(0, 10), min_size=1, max_size=4),
+        data=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_incremental_folds_match_trackers(self, n_queries, k, widths, data):
+        pool = st.sampled_from([-np.inf, np.inf, np.nan, 0.0, 0.25, 0.5, 1.0])
+        pads = BatchScratchpads(n_queries, k)
+        trackers = [TopKTracker(k) for _ in range(n_queries)]
+        accepts = np.zeros(n_queries, dtype=np.int64)
+        first_row = 0
+        for width in widths:
+            flat = data.draw(
+                st.lists(
+                    pool, min_size=n_queries * width, max_size=n_queries * width
+                )
+            )
+            block = np.array(flat, dtype=np.float64).reshape(n_queries, width)
+            pads.fold(block, first_row)
+            for q in range(n_queries):
+                for j in range(width):
+                    accepts[q] += trackers[q].insert(
+                        first_row + j, float(block[q, j])
+                    )
+            first_row += width
+        results, pad_accepts = pads.finish()
+        for q in range(n_queries):
+            want = trackers[q].result()
+            assert pad_accepts[q] == accepts[q]
+            assert results[q].indices.tolist() == want.indices.tolist()
+            assert results[q].values.tobytes() == want.values.tobytes()
 
 
 class TestEdgeCases:

@@ -175,6 +175,28 @@ class TestBatchScratchpadsEdges:
         )
         _scratchpads_vs_trackers(row_values, local_k=2)
 
+    def test_neg_inf_fill_reuses_the_first_slot(self):
+        # An accepted −inf parks the argmin on its own slot, so the
+        # sequential tracker keeps overwriting slot 0 instead of advancing
+        # to the next free register — the vectorised fill shortcut (slots
+        # 0..k-1 in row order) diverges and must not run.  Regression for
+        # the NaN-only guard that kept a −inf entry the tracker drops.
+        _scratchpads_vs_trackers([[-np.inf, -np.inf]], local_k=2)
+        _scratchpads_vs_trackers([[-np.inf, -np.inf, 0.25]], local_k=2)
+
+    def test_neg_inf_fill_multi_query(self):
+        # −inf at different fill positions per query: slot layouts diverge
+        # across queries, and a scratchpad that still holds a −inf entry at
+        # the end must drop it exactly as its sequential tracker does.
+        row_values = np.array(
+            [
+                [-np.inf, -np.inf, 0.25],
+                [0.25, -np.inf, -np.inf],
+                [0.1, 0.2, 0.3],
+            ]
+        )
+        _scratchpads_vs_trackers(row_values, local_k=2)
+
     def test_all_nan_block(self):
         row_values = np.full((2, 6), np.nan)
         results, accepts = _batch_scratchpads(row_values, local_k=3)
@@ -224,6 +246,22 @@ class TestBatchScratchpadsEdges:
         stream = _encode(small_matrix)
         x = np.ones(small_matrix.n_cols)
         x[3] = np.nan
+        queries = np.vstack([x, np.ones(small_matrix.n_cols)])
+        batch_results, batch_stats = DataflowCore(4, queries).run_fast_batch(stream)
+        for q in range(2):
+            single, single_stats = DataflowCore(4, queries[q]).run_fast(stream)
+            assert batch_results[q].indices.tolist() == single.indices.tolist()
+            assert batch_results[q].values.tobytes() == single.values.tobytes()
+            assert batch_stats[q] == single_stats
+
+    def test_neg_inf_queries_through_batch_path(self, small_matrix):
+        # A −inf query component creates −inf row values end to end: the
+        # batched path must fall back to the sequential scratchpad (the
+        # fill shortcut would keep −inf entries run_fast drops) and equal
+        # the per-query fast path bit for bit.
+        stream = _encode(small_matrix)
+        x = np.ones(small_matrix.n_cols)
+        x[3] = -np.inf
         queries = np.vstack([x, np.ones(small_matrix.n_cols)])
         batch_results, batch_stats = DataflowCore(4, queries).run_fast_batch(stream)
         for q in range(2):

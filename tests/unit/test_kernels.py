@@ -248,6 +248,41 @@ class TestOperandLowering:
         operand = collection.contraction_operand()
         assert collection.contraction_operand() is operand
 
+    def test_gateless_design_skips_lowering_on_save_and_auto(
+        self, tiny_matrix, tmp_path
+    ):
+        # A float32 design has no fixed value grid: the contraction gate
+        # can never pass, so neither save() nor the auto-kernel batch path
+        # may pay the O(nnz) operand lowering (regression: both used to
+        # lower and then discard it).
+        from repro.core.engine import TopKSpmvEngine
+        from repro.serving.sharded import ShardedEngine
+
+        collection = compile_collection(tiny_matrix, PAPER_DESIGNS["f32"])
+        assert collection.contraction_grid_bits() is None
+        collection.save(tmp_path / "f32.bin")
+        assert collection._operand is None
+        X = np.linspace(0, 1, 2 * 64).reshape(2, 64)
+        TopKSpmvEngine(collection, kernel="auto").query_batch(X, top_k=4)
+        assert collection._operand is None
+        ShardedEngine(collection, n_shards=2, kernel="auto").query_batch(X, top_k=4)
+        assert collection._operand is None
+        # Even an explicit contraction request skips the lowering: with no
+        # codec grid the gate is guaranteed to fall back to gather with
+        # identical bits, so the operand would be pure waste.
+        want = TopKSpmvEngine(collection, kernel="gather").query_batch(X, top_k=4)
+        got = TopKSpmvEngine(collection, kernel="contraction").query_batch(X, top_k=4)
+        assert collection._operand is None
+        for g, w in zip(got.topk, want.topk):
+            assert g.indices.tolist() == w.indices.tolist()
+            assert g.values.tobytes() == w.values.tobytes()
+
+    def test_gated_design_still_lowers_and_persists(self, tiny_matrix, tmp_path):
+        collection = compile_collection(tiny_matrix, PAPER_DESIGNS["20b"])
+        assert collection.contraction_grid_bits() == 19
+        collection.save(tmp_path / "20b.bin")
+        assert collection._operand is not None  # persisted in the artifact
+
 
 class TestStreamingSkip:
     def test_skewed_rows_are_skipped_without_changing_bits(self):
@@ -281,6 +316,64 @@ class TestStreamingSkip:
             for g, w in zip(gq, wq):
                 assert g.indices.tolist() == w.indices.tolist()
                 assert g.values.tobytes() == w.values.tobytes()
+
+    def test_per_run_skip_stats_with_threaded_partitions(self):
+        # Skip counters ride each partition's return value, so a threaded
+        # run must aggregate them without lost updates, and the per-run
+        # KernelOutput (not just the singleton mirror) must carry them.
+        rng = np.random.default_rng(13)
+        # Partitions must span several lane-budget blocks for any block to
+        # be skippable, hence the row count.
+        n_rows, n_cols, n_parts = 32_000, 64, 4
+        rows = []
+        for r in range(n_rows):
+            cols = np.sort(rng.choice(n_cols, size=6, replace=False))
+            scale = 2.0 ** (-((r % (n_rows // n_parts)) // 50))
+            rows.append((cols.astype(np.int64), scale * (0.5 + 0.5 * rng.random(6))))
+        matrix = CSRMatrix.from_rows(rows, n_cols=n_cols)
+        layout = solve_layout(n_cols, 64)
+        encoded = BSCSRMatrix.encode(
+            matrix, layout, ExactCodec(), n_partitions=n_parts, rows_per_packet=5
+        )
+        plans = tuple(plan_stream(s) for s in encoded.streams)
+        X = rng.random((8, n_cols))
+        backend = get_kernel("streaming")
+        request = KernelRequest(
+            X=X,
+            plans=plans,
+            accumulate_dtype=np.dtype(np.float64),
+            local_k=4,
+            n_workers=3,
+        )
+        out = backend.run(request)
+        assert out.total_rows == n_rows * X.shape[0]
+        assert 0 < out.skipped_rows <= out.total_rows
+        assert out.skip_fraction > 0.5
+        # The singleton mirror reflects this (latest) run even when the
+        # partitions ran on a thread pool.
+        assert backend.last_skip_fraction == out.skip_fraction
+        inline = backend.run(
+            KernelRequest(
+                X=X,
+                plans=plans,
+                accumulate_dtype=np.dtype(np.float64),
+                local_k=4,
+                n_workers=1,
+            )
+        )
+        assert inline.skipped_rows == out.skipped_rows
+        assert inline.total_rows == out.total_rows
+
+    def test_non_skipping_backends_report_zero(self, tiny_matrix):
+        encoded = _encoded(tiny_matrix)
+        plans = tuple(plan_stream(s) for s in encoded.streams)
+        X = np.linspace(0, 1, 2 * 64).reshape(2, 64)
+        request = KernelRequest(
+            X=X, plans=plans, accumulate_dtype=np.dtype(np.float64), local_k=4
+        )
+        out = get_kernel("gather").run(request)
+        assert out.skipped_rows == 0 and out.total_rows == 0
+        assert out.skip_fraction == 0.0
 
     def test_uniform_rows_skip_nothing_and_match(self, tiny_matrix):
         encoded = _encoded(tiny_matrix, n_partitions=2)
