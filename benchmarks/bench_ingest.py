@@ -1,0 +1,126 @@
+"""Benchmarks for segmented mutable collections (ISSUE-5 tentpole).
+
+Two numbers the LSM-style layer exists for:
+
+* **incremental ingest vs full recompile** — appending a 1% delta to a
+  compiled collection (ingest + seal into a new segment) against
+  ``compile_collection`` of the equivalent final matrix.  The acceptance
+  floor is >= 10x; the measured results land in
+  ``benchmarks/results/ingest_speedup.json`` so successive PRs track the
+  mutation-path trajectory.
+* **multi-segment vs compacted query overhead** — the same collection
+  queried while fragmented into many segments and again after
+  ``compact()``, bit-identical both ways (read amplification is a latency
+  cost, never a correctness one).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import PAPER_DESIGNS, SegmentedCollection, TopKSpmvEngine, compile_collection
+from repro.data.synthetic import synthetic_embeddings
+from repro.utils.rng import derive_rng, sample_unit_queries
+
+ROWS = 50_000
+COLS = 512
+AVG_NNZ = 20
+DELTA_FRAC = 0.01
+Q = 32
+
+
+def _timed(fn, *args, **kwargs):
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        best = min(best, _timed(fn)[1])
+    return best
+
+
+def _assert_bit_identical(want, got, label):
+    for a, b in zip(want.topk, got.topk):
+        assert a.indices.tolist() == b.indices.tolist(), label
+        assert a.values.tobytes() == b.values.tobytes(), label
+
+
+def test_incremental_ingest_speedup():
+    """1% delta: ingest+seal must beat a full recompile by >= 10x."""
+    design = PAPER_DESIGNS["20b"]
+    base = synthetic_embeddings(
+        n_rows=ROWS, n_cols=COLS, avg_nnz=AVG_NNZ, distribution="uniform", seed=42
+    )
+    n_delta = int(ROWS * DELTA_FRAC)
+    delta = synthetic_embeddings(
+        n_rows=n_delta, n_cols=COLS, avg_nnz=AVG_NNZ, distribution="uniform", seed=43
+    )
+
+    collection, build_s = _timed(SegmentedCollection.from_matrix, base, design)
+
+    def incremental():
+        # Fresh copy each repeat so every run pays the same ingest+seal.
+        trial = SegmentedCollection.from_collection(
+            collection.segments[0].artifact
+        )
+        trial.ingest(delta)
+        trial.seal()
+        return trial
+
+    mutated, _ = _timed(incremental)  # warm path once
+    incremental_s = _best_of(incremental)
+    final_matrix = mutated.matrix
+    recompile_s = _best_of(lambda: compile_collection(final_matrix, design))
+    speedup = recompile_s / incremental_s
+
+    # Fragmented vs compacted serving: same collection split into many
+    # small segments, then compacted back to one — queries identical.
+    n_chunks = 8
+    fragmented = SegmentedCollection.from_matrix(
+        base.row_slice(0, ROWS // 2), design
+    )
+    chunk = ROWS // (2 * n_chunks)
+    for c in range(n_chunks):
+        lo = ROWS // 2 + c * chunk
+        fragmented.ingest(base.row_slice(lo, lo + chunk))
+        fragmented.seal()
+    X = sample_unit_queries(derive_rng(7), Q, COLS)
+    engine = TopKSpmvEngine(fragmented)
+    multi = engine.query_batch(X, top_k=10)  # warm plans/operands
+    multi_s = _best_of(lambda: engine.query_batch(X, top_k=10))
+    fragmented.compact()
+    compacted = engine.query_batch(X, top_k=10)
+    _assert_bit_identical(multi, compacted, "compacted vs multi-segment")
+    compacted_s = _best_of(lambda: engine.query_batch(X, top_k=10))
+
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    payload = {
+        "collection": {"rows": ROWS, "cols": COLS, "avg_nnz": AVG_NNZ, "seed": 42},
+        "design": "20b",
+        "delta_rows": n_delta,
+        "delta_frac": DELTA_FRAC,
+        "initial_build_s": build_s,
+        "incremental_ingest_s": incremental_s,
+        "full_recompile_s": recompile_s,
+        "speedup_vs_recompile": speedup,
+        "query_overhead": {
+            "n_segments": n_chunks + 1,
+            "n_queries": Q,
+            "multi_segment_s": multi_s,
+            "compacted_s": compacted_s,
+            "overhead_ratio": multi_s / compacted_s,
+        },
+    }
+    with open(results_dir / "ingest_speedup.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    assert speedup >= 10.0, (
+        f"incremental ingest of a {DELTA_FRAC:.0%} delta is only "
+        f"{speedup:.1f}x faster than a full recompile (floor: 10x)"
+    )

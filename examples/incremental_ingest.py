@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Mutable collections: ingest → seal → compact without ever recompiling.
+
+A live similarity-search service receives new embedding rows, updated user
+vectors and deletions continuously.  The frozen ``CompiledCollection`` would
+pay a full O(nnz) re-encode per change; a ``SegmentedCollection`` instead
+buffers mutations in a small delta, seals the delta into immutable segments,
+and compacts segments in the background — while every query stays
+bit-identical to a from-scratch recompile of the same logical matrix.
+
+Run:  python examples/incremental_ingest.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import PAPER_DESIGNS, SegmentedCollection, TopKSpmvEngine, compile_collection
+from repro.data import synthetic_embeddings
+from repro.utils.rng import sample_unit_queries
+
+
+def main() -> None:
+    design = PAPER_DESIGNS["20b"]
+    base = synthetic_embeddings(
+        n_rows=50_000, n_cols=512, avg_nnz=20, distribution="uniform", seed=33
+    )
+
+    # 1. Start from a standard compiled collection (or wrap an existing
+    #    artifact with SegmentedCollection.load — same digest, no migration).
+    collection = SegmentedCollection.from_matrix(base, design, seal_rows=2048)
+    engine = TopKSpmvEngine(collection)
+    queries = sample_unit_queries(np.random.default_rng(1), 16, 512)
+    print(engine.describe(), "\n")
+
+    # 2. INGEST: a 1% batch of new rows lands in the delta buffer.  Compare
+    #    against what a full recompile of the final matrix would cost.
+    delta = synthetic_embeddings(
+        n_rows=500, n_cols=512, avg_nnz=20, distribution="uniform", seed=34
+    )
+    started = time.perf_counter()
+    keys = engine.ingest(delta)
+    engine.seal()  # freeze the delta into a new immutable segment
+    incremental_s = time.perf_counter() - started
+    started = time.perf_counter()
+    compile_collection(collection.matrix, design)
+    recompile_s = time.perf_counter() - started
+    print(f"ingest+seal of {len(keys)} rows: {incremental_s * 1e3:.1f} ms "
+          f"(full recompile: {recompile_s * 1e3:.1f} ms, "
+          f"{recompile_s / incremental_s:.0f}x)")
+
+    # 3. UPDATE and DELETE address rows by the stable keys ingest returned.
+    engine.update(int(keys[0]), np.abs(np.random.default_rng(2).standard_normal(512)))
+    engine.delete(keys[1:3])
+    print(f"after update+delete: {collection.n_live} live rows, "
+          f"generation {collection.generation}")
+
+    # 4. Results are positions in the live matrix; translate them to the
+    #    stable keys your application stores.
+    result = engine.query(queries[0], top_k=10)
+    print("top-10 keys:", collection.keys_for(result.topk.indices).tolist())
+
+    # 5. COMPACT: rewrite small segments into one and drop tombstoned rows.
+    #    Queries before and after are bit-identical — compaction only buys
+    #    back the read amplification of fragmented segments.
+    before = engine.query_batch(queries, top_k=10)
+    rewritten = engine.compact()
+    after = engine.query_batch(queries, top_k=10)
+    assert all(
+        a.indices.tolist() == b.indices.tolist()
+        and a.values.tobytes() == b.values.tobytes()
+        for a, b in zip(before.topk, after.topk)
+    )
+    print(f"compacted {rewritten} segments -> {collection.n_segments}; "
+          f"results unchanged bit for bit")
+
+    # 6. PERSIST: a manifest directory.  Unchanged segments are reused
+    #    verbatim on every save (content-addressed files), so saving after
+    #    a small mutation costs the mutation, not the collection.
+    with tempfile.TemporaryDirectory() as tmp:
+        target = Path(tmp) / "collection"
+        collection.save(target)
+        reloaded = SegmentedCollection.load(target)
+        print(f"saved + reloaded: generation {reloaded.generation}, "
+              f"{reloaded.n_live} live rows, files: "
+              f"{sorted(p.name for p in target.iterdir())}")
+
+
+if __name__ == "__main__":
+    main()

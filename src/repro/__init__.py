@@ -24,6 +24,7 @@ Quickstart
 """
 
 from repro.core.collection import CompiledCollection, compile_collection
+from repro.core.segments import Segment, SegmentedCollection
 from repro.core.engine import TopKSpmvEngine, EngineResult, BatchResult
 from repro.core.kernels import available_kernels
 from repro.core.reference import TopKResult, exact_topk_spmv
@@ -41,6 +42,8 @@ __version__ = "1.0.0"
 __all__ = [
     "CompiledCollection",
     "compile_collection",
+    "Segment",
+    "SegmentedCollection",
     "TopKSpmvEngine",
     "EngineResult",
     "BatchResult",

@@ -49,11 +49,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["all", "serve-bench", "compile", "bench-all"],
+        choices=sorted(ALL_EXPERIMENTS)
+        + ["all", "serve-bench", "compile", "bench-all", "ingest"],
         help="which experiment to regenerate (serve-bench runs the sharded "
         "batch serving simulation; compile builds and saves a servable "
         "collection artifact instead of a paper artifact; bench-all runs "
-        "every benchmarks/bench_*.py emitter and consolidates the results)",
+        "every benchmarks/bench_*.py emitter and consolidates the results; "
+        "ingest drives a mutation workload through a segmented collection "
+        "and compares incremental ingest against a full recompile)",
     )
     parser.add_argument(
         "rest",
@@ -164,8 +167,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--rows/--design are then taken from the artifact (aligned mode "
         "serves its buffers as-is; --cores-per-shard re-encodes per shard)",
     )
+    ingest = parser.add_argument_group("ingest options")
+    ingest.add_argument(
+        "--delta-frac", type=float, default=0.01,
+        help="ingested delta as a fraction of the base collection's rows "
+        "(default 0.01, the 1%% scenario the CI floor tracks)",
+    )
+    ingest.add_argument(
+        "--updates", type=int, default=0,
+        help="random row updates to apply after the ingest (default 0)",
+    )
+    ingest.add_argument(
+        "--deletes", type=int, default=0,
+        help="random row deletes to apply after the ingest (default 0)",
+    )
+    ingest.add_argument(
+        "--seal-rows", type=int, default=None,
+        help="delta-buffer seal threshold in live rows (default: the "
+        "library default)",
+    )
+    ingest.add_argument(
+        "--compact", action="store_true",
+        help="compact after the mutations and report the query-time change",
+    )
+    ingest.add_argument(
+        "--save", type=str, default=None, metavar="DIR",
+        help="persist the mutated collection as a segment-manifest directory",
+    )
+    ingest.add_argument(
+        "--verify-queries", type=int, default=8,
+        help="queries checked bit-identical against a fresh recompile of "
+        "the equivalent final matrix (default 8; 0 disables)",
+    )
     dataset_group = parser.add_argument_group(
-        "dataset options (compile and serve-bench)"
+        "dataset options (compile, serve-bench and ingest)"
     )
     dataset_group.add_argument(
         "--cols", type=int, default=512,
@@ -277,6 +312,156 @@ def _run_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_ingest(args: argparse.Namespace) -> int:
+    """Drive a mutation workload through a segmented collection.
+
+    Builds (or loads) a collection, ingests a delta, applies optional
+    updates/deletes, and reports the incremental-ingest cost next to a full
+    ``compile_collection`` of the equivalent final matrix — the number the
+    segmented layer exists to beat.  A handful of queries are checked
+    bit-identical against that fresh recompile, so the run doubles as an
+    end-to-end equivalence smoke.
+    """
+    import numpy as np
+
+    from repro.core.collection import compile_collection
+    from repro.core.segments import DEFAULT_SEAL_ROWS, SegmentedCollection
+    from repro.data.synthetic import synthetic_embeddings
+    from repro.hw.design import design_by_name
+    from repro.utils.rng import derive_rng, sample_unit_queries
+
+    from repro.utils.validation import check_positive_int
+
+    seed = args.seed if args.seed is not None else 0
+    seal_rows = check_positive_int(
+        args.seal_rows if args.seal_rows is not None else DEFAULT_SEAL_ROWS,
+        "seal_rows",
+    )
+    started = time.perf_counter()
+    if args.collection is not None:
+        collection = SegmentedCollection.load(args.collection)
+        collection.seal_rows = seal_rows
+    else:
+        rows = args.rows if args.rows is not None else (4000 if args.quick else 20_000)
+        base = synthetic_embeddings(
+            n_rows=rows, n_cols=args.cols, avg_nnz=args.avg_nnz,
+            distribution="uniform", seed=seed,
+        )
+        collection = SegmentedCollection.from_matrix(
+            base, design_by_name(args.design), seal_rows=seal_rows
+        )
+    build_s = time.perf_counter() - started
+    n_base = collection.n_live
+    n_cols = collection.n_cols
+
+    rng = derive_rng(seed + 1)
+    n_delta = max(1, int(round(args.delta_frac * n_base)))
+    delta = synthetic_embeddings(
+        n_rows=n_delta, n_cols=n_cols, avg_nnz=args.avg_nnz,
+        distribution="uniform", seed=seed + 2,
+    )
+    started = time.perf_counter()
+    collection.ingest(delta)
+    # Requested counts are capped to the live population; the report must
+    # carry what actually ran, not what was asked for.
+    n_updates = min(args.updates, collection.n_live)
+    for key in rng.choice(collection.live_keys(), size=n_updates, replace=False):
+        dense = np.zeros(n_cols)
+        cols = rng.choice(n_cols, size=min(args.avg_nnz, n_cols), replace=False)
+        dense[np.sort(cols)] = rng.random(len(cols))
+        collection.update(int(key), dense)
+    n_deletes = min(args.deletes, collection.n_live)
+    if n_deletes:
+        victims = rng.choice(
+            collection.live_keys(), size=n_deletes, replace=False
+        )
+        collection.delete(victims)
+    collection.seal()
+    incremental_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    fresh = compile_collection(collection.matrix, collection.design)
+    recompile_s = time.perf_counter() - started
+    speedup = recompile_s / incremental_s if incremental_s else float("inf")
+
+    verified = 0
+    if args.verify_queries:
+        from repro.core.kernels import run_segmented
+
+        X = collection.design.quantize_query(
+            sample_unit_queries(derive_rng(seed + 3), args.verify_queries, n_cols)
+        )
+        got = run_segmented(collection, X, top_k=10)
+        want = run_segmented(
+            SegmentedCollection.from_collection(fresh), X, top_k=10
+        )
+        for g, w in zip(got.results, want.results):
+            if g.indices.tolist() != w.indices.tolist() or (
+                g.values.tobytes() != w.values.tobytes()
+            ):
+                raise SystemExit(
+                    "segmented query diverged from the fresh recompile — "
+                    "this is a bug, please report it"
+                )
+        verified = args.verify_queries
+
+    compact_s = None
+    if args.compact:
+        started = time.perf_counter()
+        collection.compact()
+        compact_s = time.perf_counter() - started
+    if args.save:
+        collection.save(args.save)
+
+    payload = {
+        "base_rows": n_base,
+        "cols": n_cols,
+        "design": collection.design.name,
+        "delta_rows": n_delta,
+        "updates": n_updates,
+        "deletes": n_deletes,
+        "build_s": build_s,
+        "incremental_s": incremental_s,
+        "recompile_s": recompile_s,
+        "speedup_vs_recompile": speedup,
+        "compact_s": compact_s,
+        "generation": collection.generation,
+        "n_segments": collection.n_segments,
+        "verified_queries": verified,
+    }
+    lines = [
+        "# ingest — incremental mutation vs full recompile",
+        "",
+        collection.describe(),
+        "",
+        f"delta: {n_delta} ingested rows ({args.delta_frac:.1%} of base), "
+        f"{n_updates} updates, {n_deletes} deletes",
+        f"incremental ingest+seal: {incremental_s * 1e3:.1f} ms | full "
+        f"recompile: {recompile_s * 1e3:.1f} ms | speedup {speedup:.1f}x",
+    ]
+    if verified:
+        lines.append(
+            f"verified bit-identical to the fresh recompile over "
+            f"{verified} queries"
+        )
+    if compact_s is not None:
+        lines.append(f"compacted to {collection.n_segments} segment(s) in "
+                     f"{compact_s * 1e3:.1f} ms")
+    text = "\n".join(lines)
+    print(text)
+    if args.save:
+        print(f"wrote {args.save}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
 def consolidate_bench_results(results_dir: "str | Path", runs: dict) -> dict:
     """Merge per-benchmark run records with every emitted results JSON.
 
@@ -328,19 +513,30 @@ def _run_bench_all(args: argparse.Namespace) -> int:
     failed = []
     for path in files:
         started = time.perf_counter()
-        proc = subprocess.run(
-            [sys.executable, "-m", "pytest", str(path), "-q"],
-            env=env,
-            capture_output=True,
-            text=True,
-        )
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-m", "pytest", str(path), "-q"],
+                env=env,
+                capture_output=True,
+                text=True,
+            )
+            returncode = proc.returncode
+            stdout, stderr = proc.stdout, proc.stderr
+        except OSError as exc:  # interpreter missing/killed — keep going
+            returncode = -1
+            stdout, stderr = "", str(exc)
         elapsed = time.perf_counter() - started
-        status = "passed" if proc.returncode == 0 else "failed"
+        status = "passed" if returncode == 0 else "failed"
         runs[path.name] = {"status": status, "seconds": elapsed}
         print(f"[{status}] {path.name} ({elapsed:.1f}s)", file=sys.stderr)
-        if proc.returncode != 0:
+        if returncode != 0:
+            # Record the failure in the consolidated summary (script,
+            # returncode, stderr tail) and keep going: one broken bench
+            # must not cost the perf trajectory of every other one.
             failed.append(path.name)
-            sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:])
+            runs[path.name]["returncode"] = returncode
+            runs[path.name]["stderr_tail"] = (stdout + stderr)[-2000:]
+            sys.stderr.write(stdout[-2000:] + stderr[-2000:])
     results_dir = bench_dir / "results"
     results_dir.mkdir(exist_ok=True)
     summary = consolidate_bench_results(results_dir, runs)
@@ -392,6 +588,8 @@ def main(argv: "list[str] | None" = None) -> int:
         )
     if args.experiment == "serve-bench":
         return _run_serve_bench(args)
+    if args.experiment == "ingest":
+        return _run_ingest(args)
     if args.experiment == "bench-all":
         return _run_bench_all(args)
     config = _make_config(args)

@@ -20,6 +20,9 @@ Modules
 ``collection``
     The compiled query-independent artifact: one build pipeline producing
     partition streams, stream plans and a persistable ``.npz`` container.
+``segments``
+    Mutable segmented collections: LSM-style incremental ingest, tombstone
+    deletes, sealing and compaction over immutable compiled segments.
 ``engine``
     High-level public API tying formats, cores and hardware models together.
 """
@@ -37,6 +40,7 @@ from repro.core.precision_model import (
 from repro.core.dataflow import DataflowCore, simulate_dataflow
 from repro.core.kernels import available_kernels, get_kernel, resolve_kernel_name
 from repro.core.collection import CompiledCollection, compile_collection
+from repro.core.segments import Segment, SegmentedCollection
 from repro.core.engine import TopKSpmvEngine, EngineResult, BatchResult
 from repro.core.adaptive import WorkloadProfile, DesignChoice, select_design
 
@@ -61,6 +65,8 @@ __all__ = [
     "resolve_kernel_name",
     "CompiledCollection",
     "compile_collection",
+    "Segment",
+    "SegmentedCollection",
     "TopKSpmvEngine",
     "EngineResult",
     "BatchResult",

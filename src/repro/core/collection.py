@@ -48,10 +48,23 @@ __all__ = [
     "compile_collection",
     "resolve_design",
     "original_matrix",
+    "Segment",
+    "SegmentedCollection",
 ]
 
 #: Artifact ``kind`` tag in the persisted header.
 COLLECTION_KIND = "compiled-collection"
+
+
+def __getattr__(name):
+    # Lazy re-export of the mutable-collection layer: ``Segment`` and
+    # ``SegmentedCollection`` are the collection API too, but live in
+    # :mod:`repro.core.segments` (which imports this module).
+    if name in ("Segment", "SegmentedCollection"):
+        from repro.core import segments
+
+        return getattr(segments, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def check_design_compatible(collection: "CompiledCollection", design, action: str) -> None:

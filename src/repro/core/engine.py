@@ -50,6 +50,7 @@ from repro.core.dataflow import (
     simulate_multicore_batch,
 )
 from repro.core.reference import TopKResult, exact_topk_spmv
+from repro.core.segments import MutableEngineMixin, SegmentedCollection
 from repro.errors import ConfigurationError
 from repro.formats.bscsr import BSCSRMatrix
 from repro.formats.csr import CSRMatrix
@@ -157,8 +158,13 @@ class EngineResult:
         return self.power_w * self.latency_s
 
 
-class TopKSpmvEngine:
-    """Simulated multi-core Top-K SpMV accelerator over a loaded collection."""
+class TopKSpmvEngine(MutableEngineMixin):
+    """Simulated multi-core Top-K SpMV accelerator over a loaded collection.
+
+    Mutation methods (``ingest``/``update``/``delete``/``seal``/``compact``)
+    come from :class:`~repro.core.segments.MutableEngineMixin` and require
+    a segmented collection.
+    """
 
     def __init__(
         self,
@@ -208,19 +214,31 @@ class TopKSpmvEngine:
         )
 
         collection = None
-        if isinstance(matrix, CompiledCollection):
+        self._segmented = isinstance(matrix, SegmentedCollection)
+        if self._segmented:
+            if design is not None and design != matrix.design:
+                raise ConfigurationError(
+                    f"collection was compiled for {matrix.design.name!r}; "
+                    f"cannot serve it as {design.name!r} — recompile instead"
+                )
+            collection = matrix
+            design = matrix.design
+            n_cols = matrix.n_cols
+        elif isinstance(matrix, CompiledCollection):
             check_design_compatible(matrix, design, "serve")
             collection = matrix
             csr = matrix.matrix
             design = matrix.design
+            n_cols = csr.n_cols
         else:
             csr = as_csr_matrix(matrix)
             design = resolve_design(csr, design)
+            n_cols = csr.n_cols
         self.constants = constants
         # Validate the board can hold the query vector *before* paying for
         # the (potentially long) build.
         check_vector_fits(
-            vector_size=max(1, csr.n_cols),
+            vector_size=max(1, n_cols),
             cores=design.cores,
             lanes=design.layout.lanes,
             x_bits=32,
@@ -233,7 +251,13 @@ class TopKSpmvEngine:
         self.kernel_workers = kernel_workers
         self.accelerator = TopKSpmvAccelerator(design, hbm, constants)
         # Timing depends only on the stream shape, not the query: cache it.
-        self._timing = self.accelerator.timing_from_matrix(self.encoded)
+        # A segmented collection mutates, so its timing is derived lazily
+        # per generation (see the `timing` property) instead.
+        self._timing = (
+            None if self._segmented
+            else self.accelerator.timing_from_matrix(self.encoded)
+        )
+        self._timing_generation = None
         self._power_w = estimate_fpga_power_w(design, constants)
 
     @classmethod
@@ -260,7 +284,7 @@ class TopKSpmvEngine:
     # only adds the board (timing + power) on top.
     @property
     def matrix(self) -> CSRMatrix:
-        """The original float64 collection."""
+        """The original float64 collection (live logical rows if segmented)."""
         return self.collection.matrix
 
     @property
@@ -269,16 +293,42 @@ class TopKSpmvEngine:
         return self.collection.design
 
     @property
+    def segmented(self) -> bool:
+        """Whether this engine serves a mutable segmented collection."""
+        return self._segmented
+
+    @property
     def encoded(self) -> BSCSRMatrix:
-        """The partitioned BS-CSR streams."""
+        """The partitioned BS-CSR streams (frozen collections only)."""
+        if self._segmented:
+            raise ConfigurationError(
+                "a segmented collection has no single encoded matrix; "
+                "inspect collection.segments instead"
+            )
         return self.collection.encoded
+
 
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     def query(self, x: np.ndarray, top_k: int) -> EngineResult:
-        """Run one approximate Top-K query through the simulated hardware."""
+        """Run one approximate Top-K query through the simulated hardware.
+
+        On a segmented collection the result is the *global* Top-K fold of
+        the multi-segment driver (no ``k·c`` candidate cap); indices are
+        positions in the live logical matrix — translate to stable row keys
+        with ``engine.collection.keys_for(result.topk.indices)``.
+        """
         top_k = check_positive_int(top_k, "top_k")
+        if self._segmented:
+            x = self._check_query(x)
+            out = self._run_segmented(x[None, :], top_k)
+            return EngineResult(
+                topk=out.results[0],
+                timing=self.timing,
+                dataflow=out.stats_per_query()[0],
+                power_w=self._power_w,
+            )
         if top_k > self.design.local_k * self.design.cores:
             raise ConfigurationError(
                 f"top_k = {top_k} exceeds k*c = "
@@ -305,6 +355,7 @@ class TopKSpmvEngine:
         ``top_k <= k*c`` can be merged from the same candidates with
         :func:`repro.core.approx.merge_topk_candidates` (what the host does).
         """
+        self._frozen_only("query_candidates")
         x = self._check_query(x)
         x_uram = self.design.quantize_query(x)
         return simulate_multicore(
@@ -331,6 +382,7 @@ class TopKSpmvEngine:
         """
         from repro.core.kernels import resolve_kernel_name
 
+        self._frozen_only("query_candidates_batch")
         queries = self._check_query_block(queries)
         x_uram = self.design.quantize_query(queries)
         # Only lower/pass the contraction operand when the resolved backend
@@ -371,17 +423,22 @@ class TopKSpmvEngine:
         drive the board.
         """
         top_k = check_positive_int(top_k, "top_k")
-        if top_k > self.design.local_k * self.design.cores:
-            raise ConfigurationError(
-                f"top_k = {top_k} exceeds k*c = "
-                f"{self.design.local_k * self.design.cores} candidates; "
-                "increase local_k or cores"
-            )
         queries = self._check_query_block(queries)
-        candidates, stats = self.query_candidates_batch(queries)
-        results = [merge_topk_candidates(c, top_k) for c in candidates]
+        if self._segmented:
+            out = self._run_segmented(queries, top_k)
+            results = out.results
+            stats = out.stats_per_query()
+        else:
+            if top_k > self.design.local_k * self.design.cores:
+                raise ConfigurationError(
+                    f"top_k = {top_k} exceeds k*c = "
+                    f"{self.design.local_k * self.design.cores} candidates; "
+                    "increase local_k or cores"
+                )
+            candidates, stats = self.query_candidates_batch(queries)
+            results = [merge_topk_candidates(c, top_k) for c in candidates]
         batch_seconds = (
-            len(queries) * self._timing.makespan_s + self.constants.host_overhead_s
+            len(queries) * self.timing.makespan_s + self.constants.host_overhead_s
         )
         return BatchResult(
             topk=results,
@@ -391,12 +448,47 @@ class TopKSpmvEngine:
             dataflow=tuple(stats),
         )
 
+    def _run_segmented(self, queries: np.ndarray, top_k: int):
+        """The multi-segment sweep (quantise, drive, return the raw output)."""
+        from repro.core.kernels import run_segmented
+
+        return run_segmented(
+            self.collection,
+            self.design.quantize_query(queries),
+            top_k,
+            kernel=self.kernel,
+        )
+
+    def _frozen_only(self, action: str) -> None:
+        if self._segmented:
+            raise ConfigurationError(
+                f"{action} exposes the per-core candidate sweep, which only "
+                "exists for frozen collections; a segmented collection folds "
+                "a global Top-K instead (use query/query_batch)"
+            )
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property
     def timing(self) -> AcceleratorTiming:
-        """Query-independent timing of one full scan."""
+        """Query-independent timing of one full scan.
+
+        For a segmented collection the board streams every segment's
+        partition ``p`` back to back on core ``p`` (the delta snapshot
+        rides on core 0), so per-core packet counts sum across segments;
+        tombstoned rows still stream until a compaction drops them — the
+        honest LSM read-amplification cost, and exactly what ``compact()``
+        recovers.  Recomputed when the collection's generation moves.
+        """
+        if not self._segmented:
+            return self._timing
+        generation = self.collection.generation
+        if self._timing is None or self._timing_generation != generation:
+            self._timing = self.accelerator.timing_from_packets(
+                *_segmented_packets(self.collection)
+            )
+            self._timing_generation = generation
         return self._timing
 
     @property
@@ -406,6 +498,14 @@ class TopKSpmvEngine:
 
     def describe(self) -> str:
         """Multi-line summary of the loaded collection and design."""
+        if self._segmented:
+            lines = [
+                self.collection.describe(),
+                f"simulated query latency: "
+                f"{self.timing.total_seconds * 1e3:.3f} ms, "
+                f"power: {self.power_w:.1f} W",
+            ]
+            return "\n".join(lines)
         lines = [
             self.design.describe(),
             f"matrix: {self.matrix.n_rows} rows x {self.matrix.n_cols} cols, "
@@ -420,10 +520,35 @@ class TopKSpmvEngine:
 
     def stream_plans(self) -> "list[StreamPlan]":
         """Per-partition batch plans (the collection's shared lazy cache)."""
+        self._frozen_only("stream_plans")
         return self.collection.stream_plans()
 
     def _check_query(self, x: np.ndarray) -> np.ndarray:
-        return check_query_vector(x, self.matrix.n_cols)
+        return check_query_vector(x, self.collection.n_cols)
 
     def _check_query_block(self, queries: np.ndarray) -> np.ndarray:
-        return check_query_block(queries, self.matrix.n_cols)
+        return check_query_block(queries, self.collection.n_cols)
+
+
+def _segmented_packets(collection) -> "tuple[list[int], int]":
+    """Per-core packet counts + total nnz of a segmented collection's scan.
+
+    Core ``p`` streams partition ``p`` of every segment back to back; the
+    compiled delta snapshot (1 partition) streams on core 0.  Tombstoned
+    rows are still encoded in their segments, so they are honestly counted
+    until a compaction rewrites them away.
+    """
+    n_parts = max(
+        (s.artifact.n_partitions for s in collection.segments), default=1
+    )
+    packets = [0] * max(1, n_parts)
+    nnz = 0
+    for segment in collection.segments:
+        for p, stream in enumerate(segment.artifact.encoded.streams):
+            packets[p] += stream.n_packets
+        nnz += segment.artifact.nnz
+    delta = collection.compiled_delta()
+    if delta is not None:
+        packets[0] += delta.encoded.total_packets
+        nnz += delta.nnz
+    return packets, nnz

@@ -17,6 +17,9 @@ Modules
 ``contraction``
     Collection-level SciPy CSR contraction, gated on provably exact
     (order-independent) float64 accumulation.
+``segmented``
+    The multi-segment driver for mutable collections: per-segment kernel
+    choice, one global Top-K fold with cross-segment threshold carry.
 
 Selection: ``kernel=`` arguments on the engines /
 ``simulate_multicore_batch``, the ``--kernel`` CLI flag, or the
@@ -55,8 +58,16 @@ from repro.core.kernels.contraction import (
     lower_plans,
 )
 from repro.core.kernels.auto import AutoKernel
+from repro.core.kernels.segmented import (
+    SegmentedOutput,
+    run_segmented,
+    select_segment_kernel,
+)
 
 __all__ = [
+    "SegmentedOutput",
+    "run_segmented",
+    "select_segment_kernel",
     "KernelBackend",
     "KernelRequest",
     "KernelOutput",

@@ -26,7 +26,40 @@ from repro.core.kernels.base import (
 )
 from repro.core.kernels.scratchpad import BatchScratchpads
 
-__all__ = ["GatherKernel", "run_plan_gather"]
+__all__ = ["GatherKernel", "run_plan_gather", "plan_row_scores"]
+
+
+def plan_row_scores(
+    X: np.ndarray,
+    plan,
+    accumulate_dtype: np.dtype,
+    query_chunk: "int | None" = None,
+) -> np.ndarray:
+    """Every query's per-row scores for one partition plan, as float64.
+
+    The score half of the reference computation: gather the kept lanes
+    against the query block and reduce per row with ``np.add.reduceat`` —
+    the numerical twin of the hardware's adder tree, so the returned bits
+    are exactly what ``run_fast`` produces for each row (the float64
+    upcast of a float32 accumulation is lossless).  Shared by the local
+    Top-K path below and the multi-segment global fold
+    (:mod:`repro.core.kernels.segmented`).
+    """
+    n_queries = X.shape[0]
+    values = plan.kept_values.astype(accumulate_dtype)
+    # Chunk the query dimension so the (chunk, kept_lanes) intermediates stay
+    # cache-resident at large Q; rows are independent, so chunking cannot
+    # change any per-query bit.
+    chunk = query_chunk or auto_query_chunk(
+        len(values), np.dtype(accumulate_dtype).itemsize, n_queries
+    )
+    row_values = np.empty((n_queries, plan.n_rows), dtype=np.float64)
+    for q0 in range(0, n_queries, chunk):
+        block = X[q0 : q0 + chunk].astype(accumulate_dtype)
+        products = values[None, :] * block[:, plan.kept_idx]
+        reduced = np.add.reduceat(products, plan.starts, axis=1)
+        row_values[q0 : q0 + chunk] = reduced.astype(accumulate_dtype)
+    return row_values
 
 
 def run_plan_gather(
@@ -45,20 +78,7 @@ def run_plan_gather(
     pads = BatchScratchpads(n_queries, local_k)
     if plan.n_rows == 0:
         return pads.finish()
-    values = plan.kept_values.astype(accumulate_dtype)
-    # Chunk the query dimension so the (chunk, kept_lanes) intermediates stay
-    # cache-resident at large Q; rows are independent, so chunking cannot
-    # change any per-query bit.
-    chunk = query_chunk or auto_query_chunk(
-        len(values), np.dtype(accumulate_dtype).itemsize, n_queries
-    )
-    row_values = np.empty((n_queries, plan.n_rows), dtype=np.float64)
-    for q0 in range(0, n_queries, chunk):
-        block = X[q0 : q0 + chunk].astype(accumulate_dtype)
-        products = values[None, :] * block[:, plan.kept_idx]
-        reduced = np.add.reduceat(products, plan.starts, axis=1)
-        row_values[q0 : q0 + chunk] = reduced.astype(accumulate_dtype)
-    pads.fold(row_values, 0)
+    pads.fold(plan_row_scores(X, plan, accumulate_dtype, query_chunk), 0)
     return pads.finish()
 
 

@@ -35,6 +35,8 @@ whole tails of every partition are never read.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.core.kernels.base import (
@@ -47,7 +49,7 @@ from repro.core.kernels.base import (
 )
 from repro.core.kernels.scratchpad import BatchScratchpads
 
-__all__ = ["StreamingKernel"]
+__all__ = ["StreamingKernel", "screen_blocks"]
 
 #: Target lane count per row block (× query chunk × itemsize ≈ working set).
 _BLOCK_LANE_BUDGET = 16_384
@@ -71,6 +73,33 @@ def _block_bounds(starts: np.ndarray, n_lanes: int, budget: int) -> np.ndarray:
     return np.array(bounds, dtype=np.int64)
 
 
+def screen_blocks(
+    plan, accumulate_dtype, live: "np.ndarray | None" = None
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """The provable-skip precompute: ``(seg_ends, blocks, block_peak)``.
+
+    One home for the correctness-critical screen math shared by this
+    backend and the multi-segment driver
+    (:mod:`repro.core.kernels.segmented`): per-row |value| sums reduced to
+    per-block peaks, scaled by the slack covering the accumulate dtype's
+    pairwise-summation error and the bound product's own rounding (see the
+    module docstring).  ``live`` zeroes tombstoned rows' weights — they
+    are never offered, so they must never inhibit a skip.
+    """
+    acc = np.dtype(accumulate_dtype)
+    starts = plan.starts
+    n_lanes = len(plan.kept_values)
+    row_abs = np.add.reduceat(np.abs(plan.kept_values), starts)
+    if live is not None:
+        row_abs = np.where(live, row_abs, 0.0)
+    seg_ends = np.concatenate([starts[1:], [n_lanes]])
+    max_len = int((seg_ends - starts).max(initial=1))
+    slack = 1.0 + 16.0 * (max_len + 8) * float(np.finfo(acc).eps)
+    blocks = _block_bounds(starts, n_lanes, _BLOCK_LANE_BUDGET)
+    block_peak = np.maximum.reduceat(row_abs, blocks[:-1]) * slack
+    return seg_ends, blocks, block_peak
+
+
 class StreamingKernel(KernelBackend):
     """Fused streaming backend (see module docstring)."""
 
@@ -78,13 +107,26 @@ class StreamingKernel(KernelBackend):
     fallback = "gather"
 
     def __init__(self):
-        #: Convenience mirror of the most recent run's
-        #: :attr:`KernelOutput.skip_fraction`, written once per :meth:`run`.
-        #: This backend is a registered singleton, so concurrent engines or
-        #: benchmarks can observe each other's runs here — read the
-        #: fraction off the returned :class:`KernelOutput` whenever more
-        #: than one consumer may be driving the kernel.
-        self.last_skip_fraction = 0.0
+        self._last_skip_fraction = 0.0
+
+    @property
+    def last_skip_fraction(self) -> float:
+        """Deprecated mirror of the most recent run's skip fraction.
+
+        .. deprecated::
+            Read :attr:`KernelOutput.skip_fraction` (or ``skipped_rows`` /
+            ``total_rows``) off the :class:`KernelOutput` returned by the
+            run instead.  This backend is a registered singleton, so
+            concurrent engines or benchmarks observe each other's runs
+            through this mirror — the per-run output has no such race.
+        """
+        warnings.warn(
+            "StreamingKernel.last_skip_fraction is deprecated; read "
+            "skip_fraction off the KernelOutput returned by the run instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._last_skip_fraction
 
     def run(self, request: KernelRequest) -> KernelOutput:
         acc = np.dtype(request.accumulate_dtype)
@@ -102,12 +144,7 @@ class StreamingKernel(KernelBackend):
             starts = plan.starts
             # Per-row |value| sums (float64) scaled by the provable slack:
             # any computed row score is <= row_abs[r] * max|x| for its query.
-            row_abs = np.add.reduceat(np.abs(plan.kept_values), starts)
-            seg_ends = np.concatenate([starts[1:], [n_lanes]])
-            max_len = int((seg_ends - starts).max(initial=1))
-            slack = 1.0 + 16.0 * (max_len + 8) * float(np.finfo(acc).eps)
-            blocks = _block_bounds(starts, n_lanes, _BLOCK_LANE_BUDGET)
-            block_peak = np.maximum.reduceat(row_abs, blocks[:-1]) * slack
+            seg_ends, blocks, block_peak = screen_blocks(plan, acc)
 
             chunk = request.query_chunk or auto_query_chunk(
                 min(n_lanes, _BLOCK_LANE_BUDGET), acc.itemsize, n_queries
@@ -151,7 +188,7 @@ class StreamingKernel(KernelBackend):
             skipped_rows=skipped_rows,
             total_rows=total_rows,
         )
-        self.last_skip_fraction = output.skip_fraction
+        self._last_skip_fraction = output.skip_fraction
         return output
 
 

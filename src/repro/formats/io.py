@@ -44,6 +44,9 @@ __all__ = [
     "save_artifact",
     "load_artifact",
     "artifact_digest",
+    "save_manifest",
+    "load_manifest",
+    "MANIFEST_FILENAME",
 ]
 
 _FORMAT_VERSION = 1
@@ -178,6 +181,120 @@ def load_artifact(
                     f"{aux_digest!r}); the derived buffers are corrupted"
                 )
     return header, arrays
+
+
+#: Manifest container version this build writes.
+_MANIFEST_VERSION = 1
+
+#: Manifest container versions this build can read.
+_READABLE_MANIFEST_VERSIONS = (1,)
+
+#: File name of the manifest inside a manifest directory.
+MANIFEST_FILENAME = "MANIFEST.json"
+
+
+def save_manifest(
+    path: "str | Path",
+    kind: str,
+    header: dict,
+    members: "list[dict]",
+    prune_prefix: "str | None" = "segment-",
+) -> None:
+    """Write a versioned manifest over a directory of member artifacts.
+
+    A *manifest* is the mutable half of a multi-artifact container: ``path``
+    is a directory holding one ``.npz`` artifact per member (each saved via
+    :func:`save_artifact`, named by the caller — conventionally by content
+    digest, which is what makes unchanged members reusable across saves),
+    and a small :data:`MANIFEST_FILENAME` JSON file carrying ``version``,
+    ``kind``, the caller's ``header`` (e.g. a collection *generation*
+    counter) and one entry per member.  Each member entry must name its
+    ``file`` (relative to ``path``) and its content ``digest`` —
+    :func:`load_manifest` cross-checks both against the artifacts on disk.
+
+    Rewriting a manifest is cheap by construction: only the JSON file and
+    any *new* member artifacts touch disk; members already present (same
+    digest-derived name) are reused verbatim.  ``prune_prefix`` (default
+    ``"segment-"``) deletes stale ``<prefix>*.npz`` files no longer
+    referenced by any entry, so a compaction that merges members does not
+    leak their superseded artifacts; pass ``None`` to keep them.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    referenced: "dict[str, str]" = {}
+    for i, entry in enumerate(members):
+        if "file" not in entry or "digest" not in entry:
+            raise FormatError(
+                f"manifest member {i} must carry 'file' and 'digest', got "
+                f"{sorted(entry)}"
+            )
+        name = str(entry["file"])
+        if "/" in name or "\\" in name or name == MANIFEST_FILENAME:
+            raise FormatError(f"manifest member file name {name!r} is invalid")
+        # Content addressing makes sharing one file across members legal
+        # (two segments with identical contents), but the same file name
+        # claiming two different digests is an authoring bug.
+        if referenced.setdefault(name, str(entry["digest"])) != str(entry["digest"]):
+            raise FormatError(
+                f"manifest member file {name!r} listed with two digests"
+            )
+    payload = {
+        "version": _MANIFEST_VERSION,
+        "kind": kind,
+        "members": members,
+        **{k: v for k, v in header.items() if k not in ("version", "kind", "members")},
+    }
+    manifest_path = path / MANIFEST_FILENAME
+    tmp_path = path / (MANIFEST_FILENAME + ".tmp")
+    tmp_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    tmp_path.replace(manifest_path)  # atomic on POSIX: readers never see a torn file
+    if prune_prefix:
+        for stale in path.glob(f"{prune_prefix}*.npz"):
+            if stale.name not in referenced:
+                stale.unlink()
+
+
+def load_manifest(path: "str | Path", kind: str) -> "tuple[dict, list[dict]]":
+    """Load a manifest written by :func:`save_manifest`; returns (header, members).
+
+    Validates the container version and ``kind`` and that every member's
+    artifact file exists under ``path``.  Member artifact *contents* are not
+    read here — callers load each via :func:`load_artifact` (which verifies
+    the content digest) and should cross-check it against the member entry's
+    ``digest``.
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_FILENAME
+    if not manifest_path.is_file():
+        raise FormatError(f"{path} has no {MANIFEST_FILENAME}")
+    try:
+        payload = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"{manifest_path} is malformed JSON") from exc
+    if not isinstance(payload, dict):
+        raise FormatError(f"{manifest_path} must hold a JSON object")
+    if payload.get("kind") != kind:
+        raise FormatError(
+            f"{manifest_path} holds {payload.get('kind')!r}, expected {kind!r}"
+        )
+    if payload.get("version") not in _READABLE_MANIFEST_VERSIONS:
+        raise FormatError(
+            f"{manifest_path} has manifest version {payload.get('version')!r}, "
+            f"this build reads versions {list(_READABLE_MANIFEST_VERSIONS)}"
+        )
+    members = payload.pop("members", None)
+    if not isinstance(members, list):
+        raise FormatError(f"{manifest_path} has no member list")
+    for i, entry in enumerate(members):
+        if not isinstance(entry, dict) or "file" not in entry or "digest" not in entry:
+            raise FormatError(
+                f"{manifest_path}: member {i} must carry 'file' and 'digest'"
+            )
+        if not (path / str(entry["file"])).is_file():
+            raise FormatError(
+                f"{manifest_path} references missing member file {entry['file']!r}"
+            )
+    return payload, members
 
 
 def save_csr(path: "str | Path", matrix: CSRMatrix) -> None:

@@ -1,17 +1,23 @@
 """Exact-result LRU cache for Top-K queries.
 
 Embedding-similarity traffic is heavy-tailed: trending queries repeat, and a
-repeated query against an *immutable* compiled collection must produce the
-exact same Top-K — so the frontend can answer it from memory without
-touching a board, and the answer is **bit-identical** to what the engine
-would have returned.
+repeated query against the *same collection state* must produce the exact
+same Top-K — so the frontend can answer it from memory without touching a
+board, and the answer is **bit-identical** to what the engine would have
+returned.
 
 The key makes that safe:
 
-``(collection digest, quantised query bytes, K)``
+``(collection digest, generation, quantised query bytes, K)``
 
-* the collection digest pins the exact artifact (any rebuild, re-quantise
-  or edit changes it — see :class:`repro.core.collection.CompiledCollection`);
+* the collection digest pins the sealed artifact tier (any rebuild,
+  re-quantise or edit changes it — see
+  :class:`repro.core.collection.CompiledCollection`);
+* the **generation** counter versions the mutable tier: a
+  :class:`~repro.core.segments.SegmentedCollection` bumps it on every
+  ingest/update/delete/seal/compact, so entries cached against an older
+  state can never be returned for the new one.  Frozen collections have no
+  generation and key on 0 — their behaviour is unchanged;
 * the query is keyed *after* design quantisation
   (:meth:`~repro.hw.design.AcceleratorDesign.quantize_query`), the form the
   hardware actually sees — two float queries that quantise to the same URAM
@@ -19,9 +25,11 @@ The key makes that safe:
 * ``K`` because the merged result depends on it.
 
 Eviction is LRU over *uses* (a hit refreshes recency).  The cache never
-stores misses and is deliberately tiny in code: correctness comes from the
-key, not from invalidation logic — an immutable artifact has nothing to
-invalidate.
+stores misses.  Correctness still comes from the key, not from invalidation
+— a stale-generation entry is unreachable the moment the generation moves —
+but :meth:`QueryCache.invalidate_generation` lets a long-lived cache
+reclaim the capacity those unreachable entries pin (accounted in
+``invalidations``).
 """
 
 from __future__ import annotations
@@ -33,20 +41,43 @@ import numpy as np
 from repro.core.reference import TopKResult
 from repro.utils.validation import check_positive_int
 
-__all__ = ["QueryCache", "query_cache_key"]
+__all__ = ["QueryCache", "query_cache_key", "collection_version"]
+
+
+def collection_version(collection) -> "tuple[str, str]":
+    """``(digest, version-token)`` identifying one queryable collection state.
+
+    Frozen :class:`~repro.core.collection.CompiledCollection` objects have
+    no mutable state and report ``"0"``.  Segmented collections report
+    their :attr:`~repro.core.segments.SegmentedCollection.state_token` — a
+    generation counter *plus* a content-derived hash chain, so two
+    processes whose copies diverged from the same snapshot can never share
+    a version (a bare counter would collide after equally many different
+    mutations).
+    """
+    token = getattr(collection, "state_token", None)
+    if token is None:
+        token = str(int(getattr(collection, "generation", 0)))
+    return str(collection.digest), str(token)
 
 
 def query_cache_key(
-    digest: str, quantised_query: np.ndarray, top_k: int
-) -> "tuple[str, str, bytes, int]":
+    digest: str,
+    quantised_query: np.ndarray,
+    top_k: int,
+    generation: "int | str" = 0,
+) -> "tuple[str, str, str, bytes, int]":
     """The exactness-safe cache key (see module docstring).
 
-    The quantised query's dtype participates so two designs whose quantised
-    vectors happen to share raw bytes under different dtypes cannot collide
-    (belt and braces — the digest already separates designs).
+    ``generation`` is the collection's version token (from
+    :func:`collection_version`); plain integers are accepted for frozen
+    collections.  The quantised query's dtype participates so two designs
+    whose quantised vectors happen to share raw bytes under different
+    dtypes cannot collide (belt and braces — the digest already separates
+    designs).
     """
     q = np.ascontiguousarray(quantised_query)
-    return (str(digest), str(q.dtype), q.tobytes(), int(top_k))
+    return (str(digest), str(generation), str(q.dtype), q.tobytes(), int(top_k))
 
 
 class QueryCache:
@@ -59,6 +90,7 @@ class QueryCache:
         self.misses = 0
         self.evictions = 0
         self.insertions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -95,6 +127,41 @@ class QueryCache:
             self._store.popitem(last=False)
             self.evictions += 1
 
+    def invalidate_digest(self, digest: str) -> int:
+        """Drop every entry cached for ``digest``, whatever its generation.
+
+        For when a collection's *digest* moves (compaction or sealing
+        rewrites the sealed tier): the old-digest entries are unreachable
+        and would otherwise stay pinned until LRU pressure pushed them
+        out.  Accounted under ``invalidations``; returns the count dropped.
+        """
+        digest = str(digest)
+        stale = [key for key in self._store if key[0] == digest]
+        for key in stale:
+            del self._store[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def invalidate_generation(self, digest: str, generation: "int | str") -> int:
+        """Drop entries for ``digest`` cached against a *different* generation.
+
+        Those entries are already unreachable (the generation is part of
+        the key); this reclaims the capacity they pin after a mutation and
+        accounts them under ``invalidations`` — never ``evictions``, which
+        stays a pure capacity-pressure counter.  Returns the count dropped.
+        """
+        digest = str(digest)
+        generation = str(generation)
+        stale = [
+            key
+            for key in self._store
+            if key[0] == digest and key[1] != generation
+        ]
+        for key in stale:
+            del self._store[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
     def stats(self) -> dict:
         """JSON-ready counters."""
         return {
@@ -105,4 +172,5 @@ class QueryCache:
             "hit_rate": self.hit_rate,
             "insertions": self.insertions,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
         }

@@ -46,7 +46,7 @@ from repro.core.reference import TopKResult
 from repro.errors import ConfigurationError, FormatError
 from repro.formats.io import load_artifact
 from repro.serving.batcher import BatchQueue, ServedBatch, ServingReport
-from repro.serving.cache import QueryCache, query_cache_key
+from repro.serving.cache import QueryCache, collection_version, query_cache_key
 from repro.serving.router import Router, make_router
 from repro.utils.validation import check_positive_int
 
@@ -373,7 +373,17 @@ class ClusterRuntime:
         Capacity of the exact-result LRU; ``None``/``0`` disables caching.
         A *fresh* cache is built per run (replay determinism); its counters
         land in the report.  Requires every replica to serve the same
-        compiled collection (same digest) — the key depends on it.
+        collection (same digest) — the key depends on it.
+    cache:
+        Alternatively, a caller-owned :class:`~repro.serving.cache.
+        QueryCache` reused *across* runs (mutually exclusive with
+        ``cache_size``).  Entries are keyed on the collection's
+        ``(digest, generation)`` read at the start of every run, so a
+        mutation between runs — a segmented collection's ingest/delete/
+        compact bumps the generation — can never surface a stale hit;
+        the run also drops the now-unreachable old-generation entries
+        (accounted as ``invalidations`` in the report's cache stats).
+        Runs stay deterministic given the same starting cache state.
     max_batch_size, max_wait_s:
         The per-replica micro-batching knobs, as for
         :class:`~repro.serving.batcher.MicroBatcher`.
@@ -394,6 +404,7 @@ class ClusterRuntime:
         max_wait_s: float = 2e-3,
         queue_capacity: "int | None" = None,
         router_seed: int = 0,
+        cache: "QueryCache | None" = None,
     ):
         self.replicas = list(replicas)
         if not self.replicas:
@@ -404,7 +415,13 @@ class ClusterRuntime:
                     f"replica {i} ({type(replica).__name__}) has no "
                     "query_batch(queries, top_k) method"
                 )
-        widths = {r.matrix.n_cols for r in self.replicas}
+        # Prefer the collection's O(1) width: reading .matrix off a
+        # segmented replica would materialise its whole live matrix.
+        widths = {
+            getattr(getattr(r, "collection", None), "n_cols", None)
+            or r.matrix.n_cols
+            for r in self.replicas
+        }
         if len(widths) != 1:
             raise ConfigurationError(
                 f"replicas disagree on the embedding dimension: {sorted(widths)}"
@@ -423,24 +440,42 @@ class ClusterRuntime:
         self.cache_size = None if not cache_size else check_positive_int(
             cache_size, "cache_size"
         )
-        self._digest = None
-        if self.cache_size is not None:
-            digests = set()
-            for i, replica in enumerate(self.replicas):
-                collection = getattr(replica, "collection", None)
-                if collection is None:
-                    raise ConfigurationError(
-                        f"replica {i} has no compiled collection; the result "
-                        "cache needs the collection digest to key on"
-                    )
-                digests.add(collection.digest)
-            if len(digests) != 1:
+        if cache is not None and self.cache_size is not None:
+            raise ConfigurationError(
+                "pass either cache_size (fresh per-run cache) or cache "
+                "(shared across runs), not both"
+            )
+        self.shared_cache = cache
+        self._last_shared_version = None
+        if self.cache_size is not None or self.shared_cache is not None:
+            # Fail construction fast on an uncacheable fleet; the actual
+            # (digest, generation) is re-read at the start of every run so
+            # mutations between runs key correctly.
+            self._collection_version()
+
+    def _collection_version(self) -> "tuple[str, int]":
+        """The one ``(digest, generation)`` every replica currently serves.
+
+        Read at the start of each cached run: in-flight batches of that run
+        complete against this version, and a mutation before the next run
+        moves the version so no stale entry can ever be returned.
+        """
+        versions = set()
+        for i, replica in enumerate(self.replicas):
+            collection = getattr(replica, "collection", None)
+            if collection is None:
                 raise ConfigurationError(
-                    "replicas serve different collections "
-                    f"({len(digests)} digests); the result cache requires one "
-                    "shared artifact"
+                    f"replica {i} has no compiled collection; the result "
+                    "cache needs the collection digest to key on"
                 )
-            self._digest = digests.pop()
+            versions.add(collection_version(collection))
+        if len(versions) != 1:
+            raise ConfigurationError(
+                "replicas serve different collection states "
+                f"({len(versions)} (digest, generation) pairs); the result "
+                "cache requires one shared artifact"
+            )
+        return versions.pop()
 
     @property
     def n_replicas(self) -> int:
@@ -478,9 +513,22 @@ class ClusterRuntime:
 
         n = len(queries)
         self.router.reset()
-        cache = (
-            QueryCache(self.cache_size) if self.cache_size is not None else None
-        )
+        cache = self.shared_cache
+        digest = generation = None
+        if self.cache_size is not None:
+            cache = QueryCache(self.cache_size)
+        if cache is not None:
+            digest, generation = self._collection_version()
+            if cache is self.shared_cache:
+                # Reclaim capacity pinned by unreachable entries: stale
+                # generations under the current digest, and — when a
+                # compaction/seal moved the digest itself — everything
+                # cached under the digest the previous run served.
+                last = self._last_shared_version
+                if last is not None and last[0] != digest:
+                    cache.invalidate_digest(last[0])
+                cache.invalidate_generation(digest, generation)
+                self._last_shared_version = (digest, generation)
         design = getattr(self.replicas[0], "design", None)
         states = [
             _ReplicaState(queue=BatchQueue(self.max_batch_size, self.max_wait_s))
@@ -521,7 +569,7 @@ class ClusterRuntime:
                 if design is not None
                 else queries[rid]
             )
-            return query_cache_key(self._digest, quantised, top_k)
+            return query_cache_key(digest, quantised, top_k, generation)
 
         i = 0
         while True:

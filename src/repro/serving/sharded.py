@@ -45,6 +45,7 @@ from repro.core.engine import (
 )
 from repro.core.partition import partition_rows
 from repro.core.reference import TopKResult, exact_topk_spmv
+from repro.core.segments import MutableEngineMixin, SegmentedCollection
 from repro.errors import ConfigurationError
 from repro.formats.bscsr import BSCSRMatrix
 from repro.hw.calibration import CALIBRATION, CalibrationConstants
@@ -108,6 +109,25 @@ class EngineShard:
 
 
 @dataclass(frozen=True)
+class SegmentedShardView:
+    """Per-board view of a segmented deployment (timing/power bookkeeping).
+
+    A segmented collection's shards are not frozen stream slices — segment
+    boundaries move under ingest/compaction — so the fleet recomputes these
+    views per collection generation: shard ``i`` owns partition streams
+    ``[start, stop)`` of *every* segment (core ``p`` scans its partition of
+    each segment back to back; the delta snapshot rides with partition 0).
+    """
+
+    shard_id: int
+    stream_range: "tuple[int, int]"
+    n_streams: int
+    nnz: int
+    timing: AcceleratorTiming
+    power_w: float
+
+
+@dataclass(frozen=True)
 class ShardedResult:
     """One scatter-gather query across every shard."""
 
@@ -129,8 +149,13 @@ class ShardedResult:
         return self.power_w * self.latency_s
 
 
-class ShardedEngine:
-    """A fleet of simulated boards row-sharding one embedding collection."""
+class ShardedEngine(MutableEngineMixin):
+    """A fleet of simulated boards row-sharding one embedding collection.
+
+    Mutation methods (``ingest``/``update``/``delete``/``seal``/``compact``)
+    come from :class:`~repro.core.segments.MutableEngineMixin` and require
+    a segmented collection.
+    """
 
     def __init__(
         self,
@@ -183,14 +208,38 @@ class ShardedEngine:
         from repro.core.engine import as_csr_matrix
 
         collection = None
-        if isinstance(matrix, CompiledCollection):
+        self._segmented = isinstance(matrix, SegmentedCollection)
+        self._matrix = None
+        if self._segmented:
+            if self.cores_per_shard is not None:
+                raise ConfigurationError(
+                    "cores_per_shard re-encodes every row slice, which a "
+                    "mutable segmented collection cannot afford; use aligned "
+                    "mode (cores_per_shard=None)"
+                )
+            if design is not None and design != matrix.design:
+                raise ConfigurationError(
+                    f"collection was compiled for {matrix.design.name!r}; "
+                    f"cannot shard it as {design.name!r} — recompile instead"
+                )
+            collection = matrix
+            self.design = matrix.design
+            n_cols = matrix.n_cols
+            if self.n_shards > self.design.cores:
+                raise ConfigurationError(
+                    f"aligned mode cannot spread {self.design.cores} partition "
+                    f"streams over {self.n_shards} shards; lower n_shards"
+                )
+        elif isinstance(matrix, CompiledCollection):
             check_design_compatible(matrix, design, "shard")
             collection = matrix
-            self.matrix = collection.matrix
+            self._matrix = collection.matrix
             self.design = collection.design
+            n_cols = self._matrix.n_cols
         else:
-            self.matrix = as_csr_matrix(matrix)
-            self.design = resolve_design(self.matrix, design)
+            self._matrix = as_csr_matrix(matrix)
+            self.design = resolve_design(self._matrix, design)
+            n_cols = self._matrix.n_cols
 
         # Validate the boards can hold the query vector *before* paying for
         # any (potentially long) build.
@@ -198,7 +247,7 @@ class ShardedEngine:
             self.design.cores if self.cores_per_shard is None else self.cores_per_shard
         )
         check_vector_fits(
-            vector_size=max(1, self.matrix.n_cols),
+            vector_size=max(1, n_cols),
             cores=shard_cores,
             lanes=self.design.layout.lanes,
             x_bits=32,
@@ -207,17 +256,41 @@ class ShardedEngine:
 
         if self.cores_per_shard is None and collection is None:
             # Aligned mode consumes the standard single-board artifact.
-            collection = compile_collection(self.matrix, self.design)
+            collection = compile_collection(self._matrix, self.design)
         #: The parent compiled artifact; ``None`` only in full-board mode
         #: from a raw matrix (each shard then owns its own collection).
         #: Note full-board mode re-partitions every row slice across its own
         #: cores, so it always re-encodes — even from a compiled artifact.
         self.collection = collection
 
-        if self.cores_per_shard is None:
-            self.shards = self._slice_aligned_shards(hbm, constants)
+        if self._segmented:
+            self._hbm = hbm
+            self._shards = None
+            self._shard_views: "list[SegmentedShardView] | None" = None
+            self._shard_generation = None
+        elif self.cores_per_shard is None:
+            self._shards = self._slice_aligned_shards(hbm, constants)
         else:
-            self.shards = self._compile_full_board_shards(hbm, constants)
+            self._shards = self._compile_full_board_shards(hbm, constants)
+
+    @property
+    def shards(self) -> list:
+        """Per-board shards: frozen stream slices, or per-generation views."""
+        if self._segmented:
+            return self._segmented_shards()
+        return self._shards
+
+    @property
+    def matrix(self) -> CSRMatrix:
+        """The original float64 collection (live logical rows if segmented)."""
+        if self._matrix is not None:
+            return self._matrix
+        return self.collection.matrix
+
+    @property
+    def segmented(self) -> bool:
+        """Whether this fleet serves a mutable segmented collection."""
+        return self._segmented
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -300,13 +373,68 @@ class ShardedEngine:
             )
         return shards
 
+    def _segmented_shards(self) -> "list[SegmentedShardView]":
+        """Per-shard timing/power of the current generation (lazy)."""
+        collection = self.collection
+        if (
+            self._shard_views is not None
+            and self._shard_generation == collection.generation
+        ):
+            return self._shard_views
+        from repro.core.engine import _segmented_packets
+
+        packets, _ = _segmented_packets(collection)
+        accelerator = TopKSpmvAccelerator(self.design, self._hbm, self.constants)
+        views = []
+        for shard_id, deal in enumerate(
+            partition_rows(max(1, len(packets)), self.n_shards)
+        ):
+            own = packets[deal.start : deal.stop]
+            nnz = sum(
+                s.artifact.encoded.streams[p].nnz
+                for s in collection.segments
+                for p in range(deal.start, min(deal.stop, s.artifact.n_partitions))
+            )
+            delta = collection.compiled_delta()
+            if delta is not None and deal.start == 0:
+                nnz += delta.nnz
+            board = replace(self.design, cores=max(1, len(own)))
+            views.append(
+                SegmentedShardView(
+                    shard_id=shard_id,
+                    stream_range=(deal.start, deal.stop),
+                    n_streams=len(own),
+                    nnz=nnz,
+                    timing=accelerator.timing_from_packets(own, nnz=nnz),
+                    power_w=estimate_fpga_power_w(board, self.constants),
+                )
+            )
+        self._shard_views = views
+        self._shard_generation = collection.generation
+        return views
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     def query(self, x: np.ndarray, top_k: int) -> ShardedResult:
-        """One scatter-gather Top-K query across every shard."""
+        """One scatter-gather Top-K query across every shard.
+
+        On a segmented collection every shard scans its partition range of
+        every segment; results come from the global Top-K fold (identical
+        to the unsharded engine — the fold order is segments-then-
+        partitions either way), and sharding remains a pure capacity knob.
+        """
         top_k = self._check_top_k(top_k)
         x = self._check_query(x)
+        if self._segmented:
+            out = self._run_segmented(x[None, :], top_k)
+            return ShardedResult(
+                topk=out.results[0],
+                shard_timings=tuple(s.timing for s in self.shards),
+                host_overhead_s=self.constants.host_overhead_s,
+                dataflow=out.stats_per_query()[0],
+                power_w=self.total_power_w,
+            )
         x_uram = self.design.quantize_query(x)
         candidates: list[TopKResult] = []
         totals = DataflowStats()
@@ -338,8 +466,18 @@ class ShardedEngine:
 
         top_k = self._check_top_k(top_k)
         queries = self._check_query_block(queries)
-        x_uram = self.design.quantize_query(queries)
         n_queries = queries.shape[0]
+        if self._segmented:
+            out = self._run_segmented(queries, top_k)
+            seconds = n_queries * self.makespan_s + self.constants.host_overhead_s
+            return BatchResult(
+                topk=out.results,
+                seconds=seconds,
+                queries_per_second=n_queries / seconds if seconds else 0.0,
+                energy_j=self.total_power_w * seconds,
+                dataflow=tuple(out.stats_per_query()),
+            )
+        x_uram = self.design.quantize_query(queries)
         # As in the single-board engine: shards only lower/slice the
         # contraction operand for backends that can use it — one policy,
         # owned by CompiledCollection.wants_contraction_operand.
@@ -374,6 +512,17 @@ class ShardedEngine:
     def query_exact(self, x: np.ndarray, top_k: int) -> TopKResult:
         """Golden float64 reference on the original (unsharded) matrix."""
         return exact_topk_spmv(self.matrix, self._check_query(x), top_k)
+
+    def _run_segmented(self, queries: np.ndarray, top_k: int):
+        """The multi-segment sweep shared with the single-board engine."""
+        from repro.core.kernels import run_segmented
+
+        return run_segmented(
+            self.collection,
+            self.design.quantize_query(queries),
+            top_k,
+            kernel=self.kernel,
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -423,6 +572,8 @@ class ShardedEngine:
 
     def _check_top_k(self, top_k: int) -> int:
         top_k = check_positive_int(top_k, "top_k")
+        if self._segmented:
+            return top_k  # the global fold has no k*c candidate cap
         if top_k > self.total_candidates:
             raise ConfigurationError(
                 f"top_k = {top_k} exceeds the fleet's {self.total_candidates} "
@@ -430,8 +581,15 @@ class ShardedEngine:
             )
         return top_k
 
+    def _n_cols(self) -> int:
+        return (
+            self.collection.n_cols
+            if self.collection is not None
+            else self.matrix.n_cols
+        )
+
     def _check_query(self, x: np.ndarray) -> np.ndarray:
-        return check_query_vector(x, self.matrix.n_cols)
+        return check_query_vector(x, self._n_cols())
 
     def _check_query_block(self, queries: np.ndarray) -> np.ndarray:
-        return check_query_block(queries, self.matrix.n_cols)
+        return check_query_block(queries, self._n_cols())

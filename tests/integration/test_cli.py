@@ -142,7 +142,30 @@ class TestBenchAll:
         assert main(["bench-all", "--benchmarks-dir", str(bench_dir)]) == 1
         capsys.readouterr()
         summary = json.loads((bench_dir / "results" / "BENCH_summary.json").read_text())
+        record = summary["runs"]["bench_fake.py"]
+        assert record["status"] == "failed"
+        # The failure is recorded in full (script, returncode, stderr tail)
+        # so one broken bench never hides the rest of the trajectory.
+        assert record["returncode"] == 1
+        assert "assert False" in record["stderr_tail"]
+
+    def test_one_failure_does_not_abort_the_rest(self, tmp_path, capsys):
+        import json
+
+        bench_dir = self._fake_bench_dir(tmp_path, passing=False)
+        (bench_dir / "bench_good.py").write_text(
+            "import json, pathlib\n"
+            "def test_emit():\n"
+            "    out = pathlib.Path(__file__).parent / 'results' / 'good.json'\n"
+            "    out.write_text(json.dumps({'speedup': 9.0}))\n"
+        )
+        assert main(["bench-all", "--benchmarks-dir", str(bench_dir)]) == 1
+        capsys.readouterr()
+        summary = json.loads((bench_dir / "results" / "BENCH_summary.json").read_text())
         assert summary["runs"]["bench_fake.py"]["status"] == "failed"
+        assert summary["runs"]["bench_good.py"]["status"] == "passed"
+        assert "returncode" not in summary["runs"]["bench_good.py"]
+        assert summary["results"]["good"] == {"speedup": 9.0}
 
     def test_only_filter_and_empty_run(self, tmp_path, capsys):
         import json
@@ -156,6 +179,44 @@ class TestBenchAll:
         summary = json.loads((bench_dir / "results" / "BENCH_summary.json").read_text())
         assert summary["runs"] == {}
         assert "fake" in summary["results"]  # pre-existing payloads still merge
+
+    def test_ingest_verb_end_to_end(self, tmp_path, capsys):
+        import json
+
+        out_json = tmp_path / "ingest.json"
+        out_dir = tmp_path / "col"
+        assert main([
+            "ingest", "--quick", "--rows", "1200", "--cols", "128",
+            "--updates", "3", "--deletes", "3", "--compact",
+            "--save", str(out_dir), "--json", str(out_json),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "incremental ingest+seal" in out
+        assert "verified bit-identical" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["delta_rows"] == 12
+        assert payload["verified_queries"] == 8
+        assert payload["speedup_vs_recompile"] > 0
+        # The saved manifest directory reloads as a live collection.
+        from repro.core.segments import SegmentedCollection
+
+        loaded = SegmentedCollection.load(out_dir)
+        # 1200 base + 12 ingested - 3 deleted (updates keep their keys).
+        assert loaded.n_live == 1200 + 12 - 3
+        assert loaded.n_segments == 1  # --compact left one segment
+
+    def test_ingest_from_compiled_artifact(self, tmp_path, capsys):
+        target = tmp_path / "collection.npz"
+        assert main([
+            "compile", "synthetic", str(target), "--rows", "1000",
+            "--cols", "128", "--avg-nnz", "10",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "ingest", "--collection", str(target), "--verify-queries", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
 
     def test_missing_benchmarks_dir_rejected(self, tmp_path):
         with pytest.raises(SystemExit, match="benchmarks directory"):

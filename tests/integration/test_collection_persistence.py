@@ -211,6 +211,54 @@ class TestOperandPersistence:
             assert ra.values.tobytes() == rb.values.tobytes()
 
 
+class TestSegmentedAdoption:
+    """A 1-segment SegmentedCollection round-trips PR-2/PR-4 artifacts
+    unchanged — same digest, same aux buffers, no migration."""
+
+    def test_plain_artifact_adopts_identity_preserving(self, matrix, saved_path):
+        from repro.core.segments import SegmentedCollection
+
+        compiled = CompiledCollection.load(saved_path)
+        wrapped = SegmentedCollection.load(saved_path)
+        assert wrapped.n_segments == 1
+        assert wrapped.generation == 0
+        # The adopted artifact keeps its digest (the collection's own
+        # digest is namespaced so frozen/segmented caches never collide).
+        assert wrapped.segments[0].digest == compiled.digest
+        artifact = wrapped.segments[0].artifact
+        # The aux (contraction-operand) buffers came back verbatim with the
+        # artifact — no lowering on the adoption path.
+        assert artifact._operand is not None
+        op = compiled._operand
+        assert artifact._operand.data.tobytes() == op.data.tobytes()
+        assert artifact._operand.indptr.tolist() == op.indptr.tolist()
+
+    def test_adopted_artifact_resaves_bit_identically(
+        self, saved_path, tmp_path
+    ):
+        from repro.core.segments import SegmentedCollection
+
+        wrapped = SegmentedCollection.load(saved_path)
+        resaved = tmp_path / "resaved.npz"
+        wrapped.segments[0].artifact.save(resaved)
+        assert resaved.read_bytes() == saved_path.read_bytes()
+
+    def test_adopted_collection_serves_and_mutates(
+        self, matrix, queries, saved_path
+    ):
+        from repro.core.segments import SegmentedCollection
+
+        wrapped = SegmentedCollection.load(saved_path)
+        engine = TopKSpmvEngine(wrapped)
+        before = engine.query_batch(queries, top_k=10)
+        keys = engine.ingest(np.abs(np.random.default_rng(9).standard_normal((5, 256))))
+        assert keys.tolist() == list(range(2500, 2505))
+        after = engine.query_batch(queries, top_k=10)
+        assert len(after.topk[0]) == 10
+        assert wrapped.generation == 1
+        assert len(before.topk[0]) == 10
+
+
 class TestLoadFailures:
     def _resave_with(self, src, dst, *, header=None, drop=None, corrupt=None):
         """Rewrite an artifact with a tampered header / missing / bit-flipped entry."""

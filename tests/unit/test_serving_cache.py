@@ -86,3 +86,81 @@ class TestLRU:
     def test_zero_capacity_rejected(self):
         with pytest.raises(ConfigurationError):
             QueryCache(capacity=0)
+
+
+class TestGenerationKeying:
+    """A mutated collection must never surface a stale cached result."""
+
+    def test_generation_participates_in_the_key(self):
+        q = np.array([1.0, 2.0])
+        assert query_cache_key("d", q, 5, generation=0) != query_cache_key(
+            "d", q, 5, generation=1
+        )
+        # Omitting the generation keys on 0 — frozen collections unchanged.
+        assert query_cache_key("d", q, 5) == query_cache_key("d", q, 5, 0)
+
+    def test_stale_generation_entry_never_hits(self):
+        cache = QueryCache(capacity=4)
+        q = np.array([3.0])
+        cache.put(query_cache_key("d", q, 5, generation=0), _result(1))
+        assert cache.get(query_cache_key("d", q, 5, generation=1)) is None
+        assert cache.get(query_cache_key("d", q, 5, generation=0)) is not None
+
+    def test_invalidate_generation_accounting(self):
+        cache = QueryCache(capacity=8)
+        for gen in (0, 1):
+            for i in range(2):
+                cache.put(
+                    query_cache_key("d", np.array([float(i)]), 5, gen),
+                    _result(i),
+                )
+        cache.put(query_cache_key("other", np.array([0.0]), 5, 0), _result(9))
+        dropped = cache.invalidate_generation("d", 1)
+        assert dropped == 2
+        assert cache.invalidations == 2
+        assert cache.evictions == 0  # invalidation is not capacity pressure
+        assert len(cache) == 3
+        # Current-generation and other-digest entries survive.
+        assert cache.get(query_cache_key("d", np.array([0.0]), 5, 1)) is not None
+        assert cache.get(query_cache_key("other", np.array([0.0]), 5, 0)) is not None
+        assert cache.stats()["invalidations"] == 2
+
+    def test_collection_version_reads_token_or_generation(self):
+        from repro.serving.cache import collection_version
+
+        class Frozen:
+            digest = "abc"
+
+        class Mutable:
+            digest = "abc"
+            generation = 7
+
+        class Tokened:
+            digest = "abc"
+            generation = 7
+            state_token = "7:deadbeef"
+
+        assert collection_version(Frozen()) == ("abc", "0")
+        assert collection_version(Mutable()) == ("abc", "7")
+        # A content-derived token beats the bare counter when available.
+        assert collection_version(Tokened()) == ("abc", "7:deadbeef")
+
+    def test_divergent_histories_never_share_a_version(self, tmp_path):
+        # Regression: two processes load the same snapshot and mutate
+        # differently — same generation *count*, different content.  The
+        # token must separate them or a shared cache would cross-serve.
+        from repro.core.segments import SegmentedCollection
+        from repro.data.synthetic import synthetic_embeddings
+        from repro.serving.cache import collection_version
+
+        base = synthetic_embeddings(
+            n_rows=50, n_cols=32, avg_nnz=4, distribution="uniform", seed=3
+        )
+        SegmentedCollection.from_matrix(base).save(tmp_path / "col")
+        a = SegmentedCollection.load(tmp_path / "col")
+        b = SegmentedCollection.load(tmp_path / "col")
+        assert collection_version(a) == collection_version(b)
+        a.delete(0)
+        b.delete(1)
+        assert a.generation == b.generation
+        assert collection_version(a) != collection_version(b)

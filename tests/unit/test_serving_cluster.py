@@ -161,6 +161,44 @@ class TestCachedCluster:
         _, report = runtime.run(queries, np.array([0.0, eps]), top_k=5)
         assert [t.status for t in report.trace] == [SERVED, SERVED]
 
+    def test_shared_cache_never_serves_a_stale_generation(self, collection):
+        # Regression for mutable collections: a caller-owned cache reused
+        # across runs must key on (digest, generation) — a hit minted
+        # before an ingest must never be returned after it.
+        from repro.core.segments import SegmentedCollection
+        from repro.serving.cache import QueryCache
+
+        segmented = SegmentedCollection.from_collection(collection)
+        engine = TopKSpmvEngine(segmented)
+        cache = QueryCache(64)
+        runtime = ClusterRuntime([engine], cache=cache)
+        rng = np.random.default_rng(81)
+        q = rng.random((1, 256))
+        q /= np.linalg.norm(q)
+        queries = np.repeat(q, 4, axis=0)
+        arrivals = np.array([0.0, 10.0, 20.0, 30.0])
+        _, warm = runtime.run(queries, arrivals, top_k=5)
+        assert warm.n_cache_hits == 3  # the shared cache is warm now
+
+        # Ingest a row engineered to beat everything on this query.
+        segmented.ingest(10.0 * q)
+        results, report = runtime.run(queries, arrivals, top_k=5)
+        fresh = TopKSpmvEngine(segmented).query(queries[0], top_k=5).topk
+        assert fresh.indices[0] == segmented.n_live - 1  # new row wins
+        for got in results:
+            assert got.indices.tolist() == fresh.indices.tolist()
+            assert got.values.tobytes() == fresh.values.tobytes()
+        # Old-generation entries were reclaimed and accounted.
+        assert cache.invalidations > 0
+        assert report.cache_stats["invalidations"] == cache.invalidations
+
+    def test_shared_cache_and_cache_size_are_exclusive(self, collection):
+        from repro.serving.cache import QueryCache
+
+        engine = TopKSpmvEngine.from_collection(collection)
+        with pytest.raises(ConfigurationError, match="not both"):
+            ClusterRuntime([engine], cache_size=8, cache=QueryCache(8))
+
     def test_cache_requires_a_shared_collection(self, collection):
         with pytest.raises(ConfigurationError, match="digest"):
             ClusterRuntime([StubBatchEngine()], cache_size=8)
