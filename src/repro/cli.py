@@ -11,6 +11,9 @@ Usage::
         --cache-size 256 --queue-capacity 32   # the cluster tier
     python -m repro serve-bench --kernel contraction   # pick a SpMV kernel
     python -m repro bench-all                 # every benchmark + summary
+    python -m repro serve-live --port 7777 --replicas 2 --cache-size 256
+    python -m repro load-gen --port 7777 --n-queries 256 --rate-qps 500 \
+        --duplicate-fraction 0.2 --shutdown   # real p50/p99/QPS + replay check
 
 Build/serve split (the production workflow)::
 
@@ -50,13 +53,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(ALL_EXPERIMENTS)
-        + ["all", "serve-bench", "compile", "bench-all", "ingest"],
+        + ["all", "serve-bench", "compile", "bench-all", "ingest",
+           "serve-live", "load-gen"],
         help="which experiment to regenerate (serve-bench runs the sharded "
         "batch serving simulation; compile builds and saves a servable "
         "collection artifact instead of a paper artifact; bench-all runs "
         "every benchmarks/bench_*.py emitter and consolidates the results; "
         "ingest drives a mutation workload through a segmented collection "
-        "and compares incremental ingest against a full recompile)",
+        "and compares incremental ingest against a full recompile; "
+        "serve-live starts the asyncio serving daemon on a real socket; "
+        "load-gen drives a wall-clock Poisson stream at a running daemon)",
     )
     parser.add_argument(
         "rest",
@@ -150,6 +156,37 @@ def build_parser() -> argparse.ArgumentParser:
     serving.add_argument(
         "--json", type=str, default=None, metavar="PATH",
         help="also dump the serve-bench numbers as JSON",
+    )
+    live = parser.add_argument_group("serve-live / load-gen options")
+    live.add_argument(
+        "--host", type=str, default="127.0.0.1",
+        help="bind/connect address for the live daemon (default 127.0.0.1)",
+    )
+    live.add_argument(
+        "--port", type=int, default=None,
+        help="serve-live: port to bind (default: ephemeral, printed at "
+        "startup); load-gen: port to connect to (required)",
+    )
+    live.add_argument(
+        "--top-k", type=int, default=10,
+        help="K the live daemon serves every request at (default 10)",
+    )
+    live.add_argument(
+        "--duplicate-fraction", type=float, default=0.0,
+        help="load-gen: probability of resending an earlier query, to "
+        "exercise the exact-result cache (default 0.0)",
+    )
+    live.add_argument(
+        "--no-verify", action="store_true",
+        help="load-gen: skip the server-side replay equivalence check",
+    )
+    live.add_argument(
+        "--shutdown", action="store_true",
+        help="load-gen: stop the daemon after the run (the CI smoke path)",
+    )
+    live.add_argument(
+        "--timeout-s", type=float, default=120.0,
+        help="load-gen: overall client timeout in seconds (default 120)",
     )
     bench_all = parser.add_argument_group("bench-all options")
     bench_all.add_argument(
@@ -264,6 +301,128 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
         print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _build_live_runtime(args: argparse.Namespace):
+    """One configured ClusterRuntime for serve-live (bench-config reuse)."""
+    from repro.serving.bench import _build_collection
+    from repro.serving.cluster import ClusterRuntime
+    from repro.serving.sharded import ShardedEngine
+
+    config = _serve_bench_config(args)
+    compiled, _design_name = _build_collection(config)
+    replicas = [
+        ShardedEngine(
+            compiled,
+            n_shards=config.n_shards,
+            cores_per_shard=config.cores_per_shard,
+            kernel=config.kernel,
+            kernel_workers=config.kernel_workers,
+        )
+        for _ in range(config.replicas)
+    ]
+    return ClusterRuntime(
+        replicas,
+        router=config.router,
+        cache_size=config.cache_size or None,
+        max_batch_size=config.max_batch_size,
+        max_wait_s=config.max_wait_ms * 1e-3,
+        queue_capacity=config.queue_capacity,
+        router_seed=config.seed,
+    )
+
+
+def _run_serve_live(args: argparse.Namespace) -> int:
+    """Start the asyncio daemon and serve until SIGINT or a shutdown op."""
+    import asyncio
+    import signal
+
+    from repro.serving.live import LiveServer
+
+    runtime = _build_live_runtime(args)
+    server = LiveServer(
+        runtime,
+        top_k=args.top_k,
+        host=args.host,
+        port=args.port if args.port is not None else 0,
+        warmup=True,
+    )
+
+    async def runner() -> None:
+        await server.start()
+        print(
+            f"live serving daemon on {server.host}:{server.port} "
+            f"({runtime.n_replicas} replica(s), router {runtime.router.name}, "
+            f"top_k {server.top_k}) — Ctrl-C or a shutdown op stops it",
+            file=sys.stderr,
+        )
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, server.request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await server.serve_until_stopped()
+
+    asyncio.run(runner())
+    stats = server.wall_stats()
+    payload: dict = {"wall": stats.to_dict(), "info": server.info()}
+    lines = [
+        f"wall clock: {stats.n_completed} completed | "
+        f"{stats.n_rejected} rejected | p50 "
+        f"{stats.p50_latency_s * 1e3:.3f} ms | p99 "
+        f"{stats.p99_latency_s * 1e3:.3f} ms | {stats.qps:.1f} QPS",
+    ]
+    if stats.n_offered:
+        _results, report = server.decision_report()
+        payload["decision"] = report.to_dict()
+        lines.append(report.render())
+    text = "\n".join(lines)
+    print(text)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _run_load_gen(args: argparse.Namespace) -> int:
+    """Drive one wall-clock stream at a running daemon; report the numbers."""
+    from repro.serving.loadgen import load_gen
+
+    if args.port is None:
+        raise SystemExit("load-gen needs --port (the daemon's port)")
+    result = load_gen(
+        args.host,
+        args.port,
+        n_queries=args.n_queries,
+        rate_qps=args.rate_qps if args.rate_qps is not None else 200.0,
+        seed=args.seed if args.seed is not None else 0,
+        duplicate_fraction=args.duplicate_fraction,
+        verify=not args.no_verify,
+        shutdown=args.shutdown,
+        timeout_s=args.timeout_s,
+    )
+    text = result.render()
+    print(text)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    verdict = result.verify
+    if verdict is not None and verdict.get("ok") and not verdict.get("equivalent"):
+        print("load-gen: live decisions diverged from the simulator",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -588,6 +747,10 @@ def main(argv: "list[str] | None" = None) -> int:
         )
     if args.experiment == "serve-bench":
         return _run_serve_bench(args)
+    if args.experiment == "serve-live":
+        return _run_serve_live(args)
+    if args.experiment == "load-gen":
+        return _run_load_gen(args)
     if args.experiment == "ingest":
         return _run_ingest(args)
     if args.experiment == "bench-all":

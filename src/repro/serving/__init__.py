@@ -17,11 +17,20 @@ from repro.serving.batcher import (
     MicroBatcher,
     ServedBatch,
     ServingReport,
+    check_served_batch,
     poisson_arrivals,
 )
 from repro.serving.bench import ServeBenchConfig, run_serve_bench
 from repro.serving.cache import QueryCache, query_cache_key
 from repro.serving.cluster import ClusterReport, ClusterRuntime, RequestTrace
+from repro.serving.live import (
+    LiveServer,
+    LiveStats,
+    decisions_equivalent,
+    serve_collection,
+)
+from repro.serving.loadgen import LoadGenResult, load_gen, run_load_gen
+from repro.serving.policy import ClusterPolicy
 from repro.serving.router import (
     ROUTERS,
     LeastOutstandingRouter,
@@ -37,7 +46,16 @@ __all__ = [
     "MicroBatcher",
     "ServedBatch",
     "ServingReport",
+    "check_served_batch",
     "poisson_arrivals",
+    "ClusterPolicy",
+    "LiveServer",
+    "LiveStats",
+    "decisions_equivalent",
+    "serve_collection",
+    "LoadGenResult",
+    "load_gen",
+    "run_load_gen",
     "ServeBenchConfig",
     "run_serve_bench",
     "QueryCache",

@@ -41,6 +41,7 @@ from repro.utils.validation import check_positive_int
 
 __all__ = [
     "poisson_arrivals",
+    "check_served_batch",
     "BatchQueue",
     "ServedBatch",
     "ServingReport",
@@ -49,6 +50,25 @@ __all__ = [
 
 #: Artifact ``kind`` tag of a persisted :class:`ServingReport`.
 REPORT_KIND = "serving-report"
+
+
+def check_served_batch(served, n_members: int):
+    """Validate an engine's batch result against the dispatched batch.
+
+    An engine returning fewer (or more) ``topk`` entries than the batch has
+    members would otherwise surface as an opaque ``IndexError`` deep in the
+    result scatter — or, for a short return, silently drop requests.
+    Returns the ``topk`` sequence on success, raises
+    :class:`~repro.errors.FormatError` otherwise.
+    """
+    topk = getattr(served, "topk", None)
+    if topk is None or len(topk) != n_members:
+        got = "no topk attribute" if topk is None else f"{len(topk)} result(s)"
+        raise FormatError(
+            f"engine returned {got} for a batch of {n_members} request(s); "
+            "query_batch must produce exactly one TopKResult per query"
+        )
+    return topk
 
 
 def poisson_arrivals(
@@ -127,6 +147,11 @@ class BatchQueue:
         """Requests waiting for dispatch (excludes any batch in service)."""
         return len(self._pending)
 
+    @property
+    def pending(self) -> "tuple[tuple[int, float], ...]":
+        """Snapshot of the queued ``(id, arrival)`` pairs, oldest first."""
+        return tuple(self._pending)
+
     def push(self, request_id: int, arrival_s: float) -> None:
         """Enqueue one request; arrivals must be pushed in time order."""
         if self._pending and arrival_s < self._pending[-1][1]:
@@ -148,13 +173,34 @@ class BatchQueue:
             return min(fill, deadline)
         return deadline
 
-    def pop_batch(self) -> "tuple[float, list[tuple[int, float]]]":
-        """Remove the next batch; returns (dispatch time, [(id, arrival)])."""
+    def pop_batch(
+        self, until_s: "float | None" = None
+    ) -> "tuple[float, list[tuple[int, float]]]":
+        """Remove the next batch; returns (dispatch time, [(id, arrival)]).
+
+        ``until_s`` caps membership at requests that arrived at or before
+        that instant (the dispatch time, for a live driver whose queue may
+        already hold arrivals from after the departing batch's virtual
+        dispatch).  An event-ordered driver — every arrival at or before
+        the dispatch time pushed first, nothing later — never needs it:
+        the default takes the oldest ``max_batch_size`` requests, which is
+        the same set.
+        """
         dispatch = self.next_dispatch_s()
         if dispatch is None:
             raise ConfigurationError("cannot pop a batch from an empty queue")
         size = min(len(self._pending), self.max_batch_size)
-        return dispatch, [self._pending.popleft() for _ in range(size)]
+        members = []
+        while len(members) < size and (
+            until_s is None or self._pending[0][1] <= until_s
+        ):
+            members.append(self._pending.popleft())
+        if not members:
+            raise ConfigurationError(
+                f"no queued request arrived by {until_s}; the dispatch rule "
+                f"never names a time ({dispatch}) before the oldest arrival"
+            )
+        return dispatch, members
 
 
 @dataclass(frozen=True)
@@ -256,9 +302,12 @@ class ServingReport:
             "totals": np.array([self.span_s, self.energy_j], dtype=np.float64),
         }
 
-    def _artifact_kind(self) -> str:
+    @classmethod
+    def _artifact_kind(cls) -> str:
         """Artifact ``kind`` tag; subclasses persist under their own kind so
-        a round trip can never silently drop their extra fields."""
+        a round trip can never silently drop their extra fields.  Class-
+        dispatched (not hard-coded) on both :meth:`save` and :meth:`load`,
+        so a subclass inheriting :meth:`load` verifies *its own* kind."""
         return REPORT_KIND
 
     def _artifact_header(self) -> dict:
@@ -290,7 +339,7 @@ class ServingReport:
     @classmethod
     def load(cls, path, verify: bool = True) -> "ServingReport":
         """Reload a report saved by :meth:`save` — floats come back bit-for-bit."""
-        header, arrays = load_artifact(path, REPORT_KIND, verify=verify)
+        header, arrays = load_artifact(path, cls._artifact_kind(), verify=verify)
         try:
             batches = cls._batches_from_arrays(arrays)
             span_s, energy_j = arrays["totals"]
@@ -359,10 +408,11 @@ class MicroBatcher:
             dispatch, members = queue.pop_batch()
             ids = [rid for rid, _ in members]
             served = self.engine.query_batch(queries[ids], top_k)
+            topk = check_served_batch(served, len(members))
             completion = dispatch + served.seconds
             queue.t_free = completion
             for pos, (rid, arrival) in enumerate(members):
-                results[rid] = served.topk[pos]
+                results[rid] = topk[pos]
                 latencies[rid] = completion - arrival
             batches.append(
                 ServedBatch(
@@ -380,4 +430,7 @@ class MicroBatcher:
             span_s=span,
             energy_j=energy,
         )
-        return [r for r in results if r is not None], report
+        # Every request was dispatched exactly once and check_served_batch
+        # pinned one result per member, so the list is fully populated — no
+        # silent filtering that could hide a short engine return.
+        return results, report

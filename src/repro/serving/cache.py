@@ -90,6 +90,7 @@ class QueryCache:
         self.misses = 0
         self.evictions = 0
         self.insertions = 0
+        self.refreshes = 0
         self.invalidations = 0
 
     def __len__(self) -> int:
@@ -118,9 +119,19 @@ class QueryCache:
         return result
 
     def put(self, key, result: TopKResult) -> None:
-        """Insert (or refresh) one exact result, evicting the LRU entry."""
+        """Insert (or refresh) one exact result, evicting the LRU entry.
+
+        Re-putting an existing key replaces the value and refreshes its
+        recency but counts as a ``refresh``, not an ``insertion`` —
+        insertions only ever count *new* keys, so
+        ``insertions - evictions - invalidations == len(cache)`` holds at
+        all times (the conservation the stats consumers rely on).
+        """
         if key in self._store:
             self._store.move_to_end(key)
+            self._store[key] = result
+            self.refreshes += 1
+            return
         self._store[key] = result
         self.insertions += 1
         while len(self._store) > self.capacity:
@@ -171,6 +182,7 @@ class QueryCache:
             "misses": self.misses,
             "hit_rate": self.hit_rate,
             "insertions": self.insertions,
+            "refreshes": self.refreshes,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
         }

@@ -37,25 +37,26 @@ replica, reject accounting, cache counters, and a per-request
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.reference import TopKResult
 from repro.errors import ConfigurationError, FormatError
 from repro.formats.io import load_artifact
-from repro.serving.batcher import BatchQueue, ServedBatch, ServingReport
-from repro.serving.cache import QueryCache, collection_version, query_cache_key
+from repro.serving.batcher import ServingReport
+from repro.serving.cache import QueryCache, collection_version
+from repro.serving.policy import (
+    CACHE_HIT,
+    REJECTED,
+    SERVED,
+    ClusterPolicy,
+    RequestTrace,
+)
 from repro.serving.router import Router, make_router
 from repro.utils.validation import check_positive_int
 
 __all__ = ["RequestTrace", "ClusterReport", "ClusterRuntime"]
-
-#: ``RequestTrace.status`` values.
-SERVED = "served"
-CACHE_HIT = "cache-hit"
-REJECTED = "rejected"
 
 #: Artifact ``kind`` tag of a persisted :class:`ClusterReport` (distinct
 #: from the base report's so a round trip can never drop the cluster tier).
@@ -63,26 +64,6 @@ CLUSTER_REPORT_KIND = "cluster-report"
 
 _STATUS_CODES = {SERVED: 0, CACHE_HIT: 1, REJECTED: 2}
 _STATUS_NAMES = {code: name for name, code in _STATUS_CODES.items()}
-
-
-@dataclass(frozen=True)
-class RequestTrace:
-    """What happened to one request, in full (the replay-test currency).
-
-    ``replica`` is the replica the router chose (also set for rejected
-    requests — the reject is accounted against it) and ``-1`` for cache
-    hits, which never reach the routing tier.  ``dispatch_s``,
-    ``completion_s`` and ``latency_s`` are ``None`` for rejected requests;
-    cache hits complete instantly (``latency_s == 0.0``).
-    """
-
-    request_id: int
-    arrival_s: float
-    status: str
-    replica: int
-    dispatch_s: "float | None"
-    completion_s: "float | None"
-    latency_s: "float | None"
 
 
 @dataclass(frozen=True)
@@ -190,7 +171,8 @@ class ClusterReport(ServingReport):
     # ------------------------------------------------------------------ #
     # Persistence — the cluster tier round-trips too, under its own kind
     # ------------------------------------------------------------------ #
-    def _artifact_kind(self) -> str:
+    @classmethod
+    def _artifact_kind(cls) -> str:
         return CLUSTER_REPORT_KIND
 
     def _artifact_header(self) -> dict:
@@ -261,7 +243,7 @@ class ClusterReport(ServingReport):
         """Reload a cluster report saved by :meth:`save` — every tier
         (per-replica reports, reject accounting, cache counters, trace)
         comes back bit-for-bit."""
-        header, arrays = load_artifact(path, CLUSTER_REPORT_KIND, verify=verify)
+        header, arrays = load_artifact(path, cls._artifact_kind(), verify=verify)
         try:
             batches = cls._batches_from_arrays(arrays)
             span_s, energy_j = arrays["totals"]
@@ -335,21 +317,6 @@ class ClusterReport(ServingReport):
     @staticmethod
     def _none_if_rejected(value, status_code) -> "float | None":
         return None if int(status_code) == _STATUS_CODES[REJECTED] else float(value)
-
-
-@dataclass
-class _ReplicaState:
-    """Mutable per-replica bookkeeping of one run."""
-
-    queue: BatchQueue
-    outstanding: int = 0
-    routed: int = 0
-    rejected: int = 0
-    energy_j: float = 0.0
-    first_arrival_s: "float | None" = None
-    last_completion_s: float = 0.0
-    batches: "list[ServedBatch]" = field(default_factory=list)
-    latencies: "list[float]" = field(default_factory=list)
 
 
 class ClusterRuntime:
@@ -481,6 +448,49 @@ class ClusterRuntime:
     def n_replicas(self) -> int:
         return len(self.replicas)
 
+    def _prepare_cache(self) -> "tuple[QueryCache | None, str | None, object]":
+        """Resolve one run's cache: fresh or shared, keyed for this version."""
+        cache = self.shared_cache
+        digest = generation = None
+        if self.cache_size is not None:
+            cache = QueryCache(self.cache_size)
+        if cache is not None:
+            digest, generation = self._collection_version()
+            if cache is self.shared_cache:
+                # Reclaim capacity pinned by unreachable entries: stale
+                # generations under the current digest, and — when a
+                # compaction/seal moved the digest itself — everything
+                # cached under the digest the previous run served.
+                last = self._last_shared_version
+                if last is not None and last[0] != digest:
+                    cache.invalidate_digest(last[0])
+                cache.invalidate_generation(digest, generation)
+                self._last_shared_version = (digest, generation)
+        return cache, digest, generation
+
+    def build_policy(self, top_k: int) -> ClusterPolicy:
+        """A fresh decision core for one stream (router reset, cache keyed).
+
+        :meth:`run` drives it from an arrival array in simulated time; the
+        live daemon (:class:`repro.serving.live.LiveServer`) drives the
+        same object from sockets and wall-clock timers — one policy, two
+        clocks, identical decisions.
+        """
+        self.router.reset()
+        cache, digest, generation = self._prepare_cache()
+        return ClusterPolicy(
+            n_replicas=self.n_replicas,
+            router=self.router,
+            cache=cache,
+            design=getattr(self.replicas[0], "design", None),
+            digest=digest,
+            generation=generation,
+            max_batch_size=self.max_batch_size,
+            max_wait_s=self.max_wait_s,
+            queue_capacity=self.queue_capacity,
+            top_k=check_positive_int(top_k, "top_k"),
+        )
+
     def run(
         self,
         queries: np.ndarray,
@@ -512,69 +522,11 @@ class ClusterRuntime:
         arrivals = arrivals[order]
 
         n = len(queries)
-        self.router.reset()
-        cache = self.shared_cache
-        digest = generation = None
-        if self.cache_size is not None:
-            cache = QueryCache(self.cache_size)
-        if cache is not None:
-            digest, generation = self._collection_version()
-            if cache is self.shared_cache:
-                # Reclaim capacity pinned by unreachable entries: stale
-                # generations under the current digest, and — when a
-                # compaction/seal moved the digest itself — everything
-                # cached under the digest the previous run served.
-                last = self._last_shared_version
-                if last is not None and last[0] != digest:
-                    cache.invalidate_digest(last[0])
-                cache.invalidate_generation(digest, generation)
-                self._last_shared_version = (digest, generation)
-        design = getattr(self.replicas[0], "design", None)
-        states = [
-            _ReplicaState(queue=BatchQueue(self.max_batch_size, self.max_wait_s))
-            for _ in self.replicas
-        ]
-        results: "list[TopKResult | None]" = [None] * n
-        traces: "list[RequestTrace | None]" = [None] * n
-        all_batches: "list[ServedBatch]" = []
-        latencies: "dict[int, float]" = {}
-        n_cache_hits = 0
-        # Completion events: (time, seq, replica, [(key, result), ...]).
-        # Drained strictly in time order before any arrival/dispatch at a
-        # later instant, so outstanding counts — and the cache — only ever
-        # see the past.
-        completions: list = []
-        seq = 0
-
-        def drain_completions(until_s: float) -> None:
-            while completions and completions[0][0] <= until_s:
-                _, _, replica, inserts = heapq.heappop(completions)
-                states[replica].outstanding -= len(inserts)
-                if cache is not None:
-                    for key, result in inserts:
-                        cache.put(key, result)
-
-        def next_dispatch() -> "tuple[float, int] | None":
-            best = None
-            best_replica = -1
-            for r, state in enumerate(states):
-                at = state.queue.next_dispatch_s()
-                if at is not None and (best is None or at < best):
-                    best, best_replica = at, r
-            return None if best is None else (best, best_replica)
-
-        def cache_key(rid: int):
-            quantised = (
-                design.quantize_query(queries[rid])
-                if design is not None
-                else queries[rid]
-            )
-            return query_cache_key(digest, quantised, top_k, generation)
-
+        policy = self.build_policy(top_k)
         i = 0
         while True:
             arrival = arrivals[i] if i < n else None
-            dispatch = next_dispatch()
+            dispatch = policy.next_dispatch()
             if arrival is None and dispatch is None:
                 break
             # Arrivals win ties with dispatches at the same instant, exactly
@@ -582,115 +534,32 @@ class ClusterRuntime:
             # dispatch time joins the departing batch.
             if dispatch is not None and (arrival is None or dispatch[0] < arrival):
                 dispatch_s, r = dispatch
-                drain_completions(dispatch_s)
-                self._dispatch(
-                    r, states[r], dispatch_s, queries, top_k, cache,
-                    cache_key, results, traces, latencies, all_batches,
-                    completions, seq,
+                policy.drain_completions(dispatch_s)
+                _, members = policy.pop(r)
+                served = self.replicas[r].query_batch(
+                    policy.batch_queries(members), top_k
                 )
-                seq += 1
+                policy.complete(r, dispatch_s, members, served)
                 continue
-            drain_completions(arrival)
             rid = int(order[i])
             i += 1
-            if cache is not None:
-                hit = cache.get(cache_key(rid))
-                if hit is not None:
-                    results[rid] = hit
-                    latencies[rid] = 0.0
-                    n_cache_hits += 1
-                    traces[rid] = RequestTrace(
-                        request_id=rid,
-                        arrival_s=float(arrival),
-                        status=CACHE_HIT,
-                        replica=-1,
-                        dispatch_s=float(arrival),
-                        completion_s=float(arrival),
-                        latency_s=0.0,
-                    )
-                    continue
-            replica = int(self.router.select([s.outstanding for s in states]))
-            if not 0 <= replica < self.n_replicas:
-                raise ConfigurationError(
-                    f"router {self.router.name!r} chose replica {replica} of "
-                    f"{self.n_replicas}"
-                )
-            state = states[replica]
-            state.routed += 1
-            if (
-                self.queue_capacity is not None
-                and state.queue.queued >= self.queue_capacity
-            ):
-                state.rejected += 1
-                traces[rid] = RequestTrace(
-                    request_id=rid,
-                    arrival_s=float(arrival),
-                    status=REJECTED,
-                    replica=replica,
-                    dispatch_s=None,
-                    completion_s=None,
-                    latency_s=None,
-                )
-                continue
-            if state.first_arrival_s is None:
-                state.first_arrival_s = float(arrival)
-            state.queue.push(rid, float(arrival))
-            state.outstanding += 1
-        drain_completions(float("inf"))
+            policy.offer(rid, float(arrival), queries[rid])
+        policy.drain_completions(float("inf"))
 
-        return self._build_report(
-            states, arrivals, results, traces, latencies, all_batches,
-            n_cache_hits, cache,
-        )
+        return self.build_report(policy, first_arrival_s=float(arrivals[0]))
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _dispatch(
-        self, r, state, dispatch_s, queries, top_k, cache, cache_key,
-        results, traces, latencies, all_batches, completions, seq,
-    ) -> None:
-        """Serve one batch on replica ``r`` at ``dispatch_s``."""
-        _, members = state.queue.pop_batch()
-        ids = [rid for rid, _ in members]
-        served = self.replicas[r].query_batch(queries[ids], top_k)
-        completion = dispatch_s + served.seconds
-        state.queue.t_free = completion
-        inserts = []
-        for pos, (rid, arrival) in enumerate(members):
-            results[rid] = served.topk[pos]
-            latency = completion - arrival
-            latencies[rid] = latency
-            state.latencies.append(latency)
-            traces[rid] = RequestTrace(
-                request_id=rid,
-                arrival_s=arrival,
-                status=SERVED,
-                replica=r,
-                dispatch_s=float(dispatch_s),
-                completion_s=float(completion),
-                latency_s=float(latency),
-            )
-            inserts.append(
-                (cache_key(rid) if cache is not None else None, served.topk[pos])
-            )
-        batch = ServedBatch(
-            indices=tuple(ids),
-            dispatch_s=float(dispatch_s),
-            service_s=float(served.seconds),
-        )
-        state.batches.append(batch)
-        all_batches.append(batch)
-        state.energy_j += served.energy_j
-        state.last_completion_s = completion
-        heapq.heappush(completions, (completion, seq, r, inserts))
-
-    def _build_report(
-        self, states, arrivals, results, traces, latencies, all_batches,
-        n_cache_hits, cache,
+    @staticmethod
+    def build_report(
+        policy: ClusterPolicy, first_arrival_s: float
     ) -> "tuple[list[TopKResult | None], ClusterReport]":
+        """Assemble the per-request results and :class:`ClusterReport` of a
+        finished policy run (shared with the live daemon, which builds its
+        *decision report* — virtual clock — from the very same state)."""
         replica_reports = []
-        for state in states:
+        for state in policy.states:
             span = (
                 state.last_completion_s - state.first_arrival_s
                 if state.first_arrival_s is not None
@@ -705,30 +574,31 @@ class ClusterRuntime:
                 )
             )
         completed = np.array(
-            [latencies[rid] for rid in sorted(latencies)], dtype=np.float64
+            [policy.latencies[rid] for rid in sorted(policy.latencies)],
+            dtype=np.float64,
         )
+        traces = tuple(policy.traces[rid] for rid in sorted(policy.traces))
+        results: "list[TopKResult | None]" = [
+            policy.results.get(rid) for rid in sorted(policy.queries)
+        ]
         last_completion = max(
-            (
-                t.completion_s
-                for t in traces
-                if t is not None and t.completion_s is not None
-            ),
-            default=float(arrivals[0]),
+            (t.completion_s for t in traces if t.completion_s is not None),
+            default=first_arrival_s,
         )
         cache_stats = None
-        if cache is not None:
-            cache_stats = cache.stats()
-            cache_stats["lookups"] = cache.lookups
+        if policy.cache is not None:
+            cache_stats = policy.cache.stats()
+            cache_stats["lookups"] = policy.cache.lookups
         report = ClusterReport(
             latencies_s=completed,
-            batches=tuple(all_batches),
-            span_s=float(last_completion - arrivals[0]),
-            energy_j=sum(s.energy_j for s in states),
+            batches=tuple(policy.all_batches),
+            span_s=float(last_completion - first_arrival_s),
+            energy_j=sum(s.energy_j for s in policy.states),
             replica_reports=tuple(replica_reports),
-            routed_per_replica=tuple(s.routed for s in states),
-            rejected_per_replica=tuple(s.rejected for s in states),
-            n_cache_hits=n_cache_hits,
+            routed_per_replica=tuple(s.routed for s in policy.states),
+            rejected_per_replica=tuple(s.rejected for s in policy.states),
+            n_cache_hits=policy.n_cache_hits,
             cache_stats=cache_stats,
-            trace=tuple(traces),
+            trace=traces,
         )
         return results, report

@@ -1,0 +1,247 @@
+"""Async load generator for the live serving daemon.
+
+Opens one pipelined connection to a :class:`~repro.serving.live.LiveServer`,
+replays a seeded Poisson query stream *on the wall clock* (each send waits
+for its arrival offset), and collects what a load test actually measures:
+client round-trip p50/p99, achieved QPS, reject rate — plus the server-side
+wall and virtual latencies echoed in every response.  With ``verify=True``
+it finishes by asking the server to replay its recorded decision stream
+through a fresh simulator (the ``verify`` op) and carries the verdict in
+the result; with ``shutdown=True`` it stops the daemon afterwards.
+
+The stream is deterministic given ``seed`` (queries and arrival gaps), but
+the *timing* the server observes is real — two runs make the same requests,
+not the same decisions.  That is the point: decision equivalence is checked
+against each run's own recorded trace, not across runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FormatError
+from repro.serving.batcher import poisson_arrivals
+from repro.serving.protocol import read_frame, write_frame
+from repro.utils.rng import derive_rng, sample_unit_queries
+from repro.utils.validation import check_positive_int
+
+__all__ = ["LoadGenResult", "run_load_gen", "load_gen"]
+
+
+@dataclass
+class LoadGenResult:
+    """One load-generation run, client side."""
+
+    n_sent: int
+    statuses: "list[str]"
+    rtt_s: np.ndarray
+    server_wall_s: np.ndarray
+    virtual_s: np.ndarray
+    span_s: float
+    info: dict = field(default_factory=dict)
+    verify: "dict | None" = None
+
+    @property
+    def n_completed(self) -> int:
+        return sum(s != "rejected" for s in self.statuses)
+
+    @property
+    def n_rejected(self) -> int:
+        return sum(s == "rejected" for s in self.statuses)
+
+    @property
+    def n_cache_hits(self) -> int:
+        return sum(s == "cache-hit" for s in self.statuses)
+
+    @property
+    def reject_rate(self) -> float:
+        if not self.n_sent:
+            return 0.0
+        return self.n_rejected / self.n_sent
+
+    @property
+    def qps(self) -> float:
+        """Completed responses per wall second over the run's span."""
+        if self.span_s <= 0.0:
+            return 0.0
+        return self.n_completed / self.span_s
+
+    def _pct(self, array: np.ndarray, q: float) -> float:
+        if not len(array):
+            return 0.0
+        return float(np.percentile(array, q))
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary, keyed like a cluster ``ServingReport``."""
+        payload = {
+            "n_queries": self.n_completed,
+            "p50_latency_ms": self._pct(self.rtt_s, 50) * 1e3,
+            "p99_latency_ms": self._pct(self.rtt_s, 99) * 1e3,
+            "mean_latency_ms": (
+                float(np.mean(self.rtt_s)) * 1e3 if len(self.rtt_s) else 0.0
+            ),
+            "qps": self.qps,
+            "span_s": self.span_s,
+            "cluster": {
+                "n_offered": self.n_sent,
+                "n_served": self.n_completed - self.n_cache_hits,
+                "n_cache_hits": self.n_cache_hits,
+                "n_rejected": self.n_rejected,
+                "reject_rate": self.reject_rate,
+            },
+            "server_wall": {
+                "p50_latency_ms": self._pct(self.server_wall_s, 50) * 1e3,
+                "p99_latency_ms": self._pct(self.server_wall_s, 99) * 1e3,
+            },
+            "virtual": {
+                "p50_latency_ms": self._pct(self.virtual_s, 50) * 1e3,
+                "p99_latency_ms": self._pct(self.virtual_s, 99) * 1e3,
+            },
+            "info": self.info,
+        }
+        if self.verify is not None:
+            payload["verify"] = self.verify
+        return payload
+
+    def render(self) -> str:
+        """Human-readable block for CLI output."""
+        lines = [
+            f"sent {self.n_sent} queries: {self.n_completed} completed "
+            f"({self.n_cache_hits} cache hits), {self.n_rejected} rejected "
+            f"({self.reject_rate:.1%})",
+            f"client RTT p50 {self._pct(self.rtt_s, 50) * 1e3:.3f} ms | "
+            f"p99 {self._pct(self.rtt_s, 99) * 1e3:.3f} ms | "
+            f"{self.qps:.1f} QPS over {self.span_s:.3f} s",
+            f"server wall p50 "
+            f"{self._pct(self.server_wall_s, 50) * 1e3:.3f} ms | "
+            f"p99 {self._pct(self.server_wall_s, 99) * 1e3:.3f} ms",
+        ]
+        if self.verify is not None:
+            if not self.verify.get("ok", False):
+                lines.append(f"verify: unavailable ({self.verify.get('error')})")
+            elif self.verify.get("equivalent"):
+                lines.append(
+                    f"verify: live decisions == simulator on all "
+                    f"{self.verify.get('checked')} requests (bit-identical)"
+                )
+            else:
+                lines.append(
+                    f"verify: DIVERGED — {self.verify.get('detail')}"
+                )
+        return "\n".join(lines)
+
+
+async def run_load_gen(
+    host: str,
+    port: int,
+    n_queries: int = 64,
+    rate_qps: float = 200.0,
+    seed: int = 0,
+    duplicate_fraction: float = 0.0,
+    verify: bool = False,
+    shutdown: bool = False,
+    timeout_s: float = 120.0,
+) -> LoadGenResult:
+    """Drive one seeded Poisson stream at a live daemon; gather the numbers.
+
+    ``duplicate_fraction`` resends earlier queries with that probability so
+    the exact-result cache sees repeat traffic (drawn from the same seeded
+    generator — the stream stays reproducible).
+    """
+    n_queries = check_positive_int(n_queries, "n_queries")
+    if not 0.0 <= duplicate_fraction < 1.0:
+        raise ConfigurationError(
+            f"duplicate_fraction must be in [0, 1), got {duplicate_fraction}"
+        )
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await write_frame(writer, {"op": "info"})
+        info = await asyncio.wait_for(read_frame(reader), timeout_s)
+        if info is None or info.get("op") != "info":
+            raise FormatError(f"expected an info frame, got {info!r}")
+
+        rng = derive_rng(seed)
+        queries = sample_unit_queries(rng, n_queries, int(info["n_cols"]))
+        if duplicate_fraction > 0.0 and n_queries > 1:
+            dup = rng.random(n_queries) < duplicate_fraction
+            dup[0] = False
+            for i in np.flatnonzero(dup):
+                queries[i] = queries[rng.integers(0, i)]
+        arrivals = poisson_arrivals(n_queries, rate_qps, rng)
+
+        loop = asyncio.get_running_loop()
+        send_wall = np.zeros(n_queries)
+        recv_wall = np.zeros(n_queries)
+        statuses: "list[str]" = ["missing"] * n_queries
+        server_wall = np.full(n_queries, np.nan)
+        virtual = np.full(n_queries, np.nan)
+
+        async def send_stream() -> None:
+            start = loop.time()
+            for i in range(n_queries):
+                delay = start + float(arrivals[i]) - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                send_wall[i] = loop.time()
+                await write_frame(
+                    writer,
+                    {"op": "query", "id": i, "query": queries[i].tolist()},
+                )
+
+        async def recv_stream() -> None:
+            for _ in range(n_queries):
+                message = await read_frame(reader)
+                if message is None:
+                    raise FormatError(
+                        "server closed the connection mid-stream"
+                    )
+                if message.get("op") == "error":
+                    raise FormatError(f"server error: {message.get('error')}")
+                i = int(message["id"])
+                recv_wall[i] = loop.time()
+                statuses[i] = message["status"]
+                if "wall_latency_s" in message:
+                    server_wall[i] = message["wall_latency_s"]
+                if message.get("virtual_latency_s") is not None:
+                    virtual[i] = message["virtual_latency_s"]
+
+        await asyncio.wait_for(
+            asyncio.gather(send_stream(), recv_stream()), timeout_s
+        )
+
+        completed = np.array([s != "rejected" for s in statuses])
+        rtt = (recv_wall - send_wall)[completed]
+        span = float(recv_wall.max() - send_wall.min())
+
+        verdict = None
+        if verify:
+            await write_frame(writer, {"op": "verify"})
+            verdict = await asyncio.wait_for(read_frame(reader), timeout_s)
+        if shutdown:
+            await write_frame(writer, {"op": "shutdown"})
+            await asyncio.wait_for(read_frame(reader), timeout_s)
+
+        return LoadGenResult(
+            n_sent=n_queries,
+            statuses=statuses,
+            rtt_s=rtt,
+            server_wall_s=server_wall[completed],
+            virtual_s=virtual[completed],
+            span_s=span,
+            info=info,
+            verify=verdict,
+        )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def load_gen(*args, **kwargs) -> LoadGenResult:
+    """Synchronous wrapper around :func:`run_load_gen` (the CLI entry)."""
+    return asyncio.run(run_load_gen(*args, **kwargs))

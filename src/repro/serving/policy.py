@@ -1,0 +1,374 @@
+"""The cluster tier's decision core, shared by the simulator and the daemon.
+
+:class:`~repro.serving.cluster.ClusterRuntime` (the deterministic
+discrete-event simulation) and :class:`~repro.serving.live.LiveServer` (the
+asyncio daemon serving wall-clock traffic) must make *identical* decisions —
+batch membership, dispatch order, route choice, cache hit/miss, rejects —
+given the same ``(request id, arrival time, query)`` stream.  That guarantee
+is not asserted after the fact; it is engineered here: both drivers push
+their events through one :class:`ClusterPolicy` instance, so the decision
+logic exists exactly once and the replay property suite
+(``tests/property/test_prop_live_replay.py``) only has to check that the
+drivers deliver events in the same order.
+
+A policy instance is fed three kinds of events, always in non-decreasing
+virtual time:
+
+* :meth:`offer` — a request arrives: drain due completions, try the cache,
+  route, admit (or reject), enqueue;
+* :meth:`pop` / :meth:`complete` — a batch leaves a replica's
+  :class:`~repro.serving.batcher.BatchQueue` and, once the engine has run
+  it, its modelled completion advances the board-free time and schedules
+  the cache fill;
+* :meth:`drain_completions` — apply every completion up to a given instant
+  (cache inserts and outstanding-count decrements never see the future).
+
+The engine call itself stays with the driver: the simulator runs it inline,
+the daemon pushes it through an executor so the event loop never blocks.
+Either way the *policy clock* advances by the engine's modelled
+``served.seconds`` — which is what locks the live daemon's decisions to the
+simulator even though its requests ride a real wall clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.serving.batcher import BatchQueue, ServedBatch, check_served_batch
+from repro.serving.cache import query_cache_key
+
+__all__ = [
+    "SERVED",
+    "CACHE_HIT",
+    "REJECTED",
+    "QUEUED",
+    "RequestTrace",
+    "ClusterPolicy",
+    "check_served_batch",
+]
+
+#: ``RequestTrace.status`` values.
+SERVED = "served"
+CACHE_HIT = "cache-hit"
+REJECTED = "rejected"
+
+#: :meth:`ClusterPolicy.offer` outcome for a request that entered a queue
+#: (its trace is written later, at batch completion).
+QUEUED = "queued"
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """What happened to one request, in full (the replay-test currency).
+
+    ``replica`` is the replica the router chose (also set for rejected
+    requests — the reject is accounted against it) and ``-1`` for cache
+    hits, which never reach the routing tier.  ``dispatch_s``,
+    ``completion_s`` and ``latency_s`` are ``None`` for rejected requests;
+    cache hits complete instantly (``latency_s == 0.0``).
+    """
+
+    request_id: int
+    arrival_s: float
+    status: str
+    replica: int
+    dispatch_s: "float | None"
+    completion_s: "float | None"
+    latency_s: "float | None"
+
+
+@dataclass
+class _ReplicaState:
+    """Mutable per-replica bookkeeping of one run."""
+
+    queue: BatchQueue
+    outstanding: int = 0
+    routed: int = 0
+    rejected: int = 0
+    energy_j: float = 0.0
+    first_arrival_s: "float | None" = None
+    last_completion_s: float = 0.0
+    batches: "list[ServedBatch]" = field(default_factory=list)
+    latencies: "list[float]" = field(default_factory=list)
+
+
+class ClusterPolicy:
+    """One in-progress serving run's decisions, fed events incrementally.
+
+    Parameters mirror :class:`~repro.serving.cluster.ClusterRuntime` (which
+    constructs its policy via
+    :meth:`~repro.serving.cluster.ClusterRuntime.build_policy`): ``router``
+    must already be reset, ``cache`` already keyed for ``(digest,
+    generation)``, ``design`` is the first replica's accelerator design (for
+    query quantisation in the cache key) or ``None``.
+
+    The policy is single-run state: build a fresh one per stream.  It holds
+    every recorded outcome — traces, per-request results and latencies,
+    batches in dispatch order — which the drivers turn into a
+    :class:`~repro.serving.cluster.ClusterReport`.
+    """
+
+    def __init__(
+        self,
+        n_replicas: int,
+        router,
+        cache,
+        design,
+        digest: "str | None",
+        generation: "int | str | None",
+        max_batch_size: int,
+        max_wait_s: float,
+        queue_capacity: "int | None",
+        top_k: int,
+    ):
+        self.n_replicas = int(n_replicas)
+        self.router = router
+        self.cache = cache
+        self.design = design
+        self.digest = digest
+        self.generation = generation
+        self.queue_capacity = queue_capacity
+        self.top_k = int(top_k)
+        self.states = [
+            _ReplicaState(queue=BatchQueue(max_batch_size, max_wait_s))
+            for _ in range(self.n_replicas)
+        ]
+        #: Per-request records, keyed by request id (insertion ordered).
+        self.queries: "dict[int, np.ndarray]" = {}
+        self.results: dict = {}
+        self.traces: "dict[int, RequestTrace]" = {}
+        self.latencies: "dict[int, float]" = {}
+        self.all_batches: "list[ServedBatch]" = []
+        self.n_cache_hits = 0
+        # Completion events: (time, seq, replica, [(key, result), ...]).
+        # Drained strictly in time order before any arrival/dispatch at a
+        # later instant, so outstanding counts — and the cache — only ever
+        # see the past.
+        self._completions: list = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # Event ingestion
+    # ------------------------------------------------------------------ #
+    def drain_completions(self, until_s: float) -> None:
+        """Apply every completion at or before ``until_s``."""
+        while self._completions and self._completions[0][0] <= until_s:
+            _, _, replica, inserts = heapq.heappop(self._completions)
+            self.states[replica].outstanding -= len(inserts)
+            if self.cache is not None:
+                for key, result in inserts:
+                    self.cache.put(key, result)
+
+    def flush_completions(self) -> "float | None":
+        """Apply every scheduled completion, however far in the virtual
+        future; returns the latest completion instant applied (``None`` if
+        nothing was pending).  Callers that keep feeding arrivals afterwards
+        must not stamp one before that instant — it would observe a cache
+        fill the simulator would still have had in flight."""
+        if not self._completions:
+            return None
+        latest = max(entry[0] for entry in self._completions)
+        self.drain_completions(float("inf"))
+        return latest
+
+    def next_dispatch(
+        self, exclude: "frozenset[int] | set[int]" = frozenset()
+    ) -> "tuple[float, int] | None":
+        """Earliest pending ``(dispatch time, replica)``, barring arrivals.
+
+        ``exclude`` lets the live driver skip replicas whose board-free
+        time is not yet known (a batch is still running in the executor) —
+        their next dispatch cannot precede that batch's completion anyway.
+        """
+        best = None
+        best_replica = -1
+        for r, state in enumerate(self.states):
+            if r in exclude:
+                continue
+            at = state.queue.next_dispatch_s()
+            if at is not None and (best is None or at < best):
+                best, best_replica = at, r
+        return None if best is None else (best, best_replica)
+
+    def cache_key(self, rid: int):
+        """The exact-result cache key of one offered request."""
+        query = self.queries[rid]
+        quantised = (
+            self.design.quantize_query(query)
+            if self.design is not None
+            else query
+        )
+        return query_cache_key(
+            self.digest, quantised, self.top_k, self.generation
+        )
+
+    def offer(self, rid: int, arrival_s: float, query: np.ndarray) -> str:
+        """One request arrives: cache → route → admit.
+
+        Returns :data:`CACHE_HIT`, :data:`REJECTED` or :data:`QUEUED`.  The
+        caller must already have run every dispatch strictly before
+        ``arrival_s`` (arrivals win ties with dispatches at the same
+        instant — a request landing exactly at a dispatch instant joins
+        the departing batch).
+        """
+        rid = int(rid)
+        arrival_s = float(arrival_s)
+        self.drain_completions(arrival_s)
+        self.queries[rid] = np.asarray(query, dtype=np.float64)
+        if self.cache is not None:
+            hit = self.cache.get(self.cache_key(rid))
+            if hit is not None:
+                self.results[rid] = hit
+                self.latencies[rid] = 0.0
+                self.n_cache_hits += 1
+                self.traces[rid] = RequestTrace(
+                    request_id=rid,
+                    arrival_s=arrival_s,
+                    status=CACHE_HIT,
+                    replica=-1,
+                    dispatch_s=arrival_s,
+                    completion_s=arrival_s,
+                    latency_s=0.0,
+                )
+                return CACHE_HIT
+        replica = int(
+            self.router.select([s.outstanding for s in self.states])
+        )
+        if not 0 <= replica < self.n_replicas:
+            raise ConfigurationError(
+                f"router {self.router.name!r} chose replica {replica} of "
+                f"{self.n_replicas}"
+            )
+        state = self.states[replica]
+        state.routed += 1
+        if (
+            self.queue_capacity is not None
+            and state.queue.queued >= self.queue_capacity
+        ):
+            state.rejected += 1
+            self.traces[rid] = RequestTrace(
+                request_id=rid,
+                arrival_s=arrival_s,
+                status=REJECTED,
+                replica=replica,
+                dispatch_s=None,
+                completion_s=None,
+                latency_s=None,
+            )
+            return REJECTED
+        if state.first_arrival_s is None:
+            state.first_arrival_s = arrival_s
+        state.queue.push(rid, arrival_s)
+        state.outstanding += 1
+        return QUEUED
+
+    def pop(
+        self, replica: int, until_s: "float | None" = None
+    ) -> "tuple[float, list[tuple[int, float]]]":
+        """Remove replica's next batch; ``(dispatch time, members)``.
+
+        ``until_s`` caps batch membership at requests that arrived by that
+        instant — the live driver passes the dispatch time, because its
+        queues may already hold arrivals from *after* the virtual dispatch
+        (the simulator never does, by event ordering).
+        """
+        return self.states[replica].queue.pop_batch(until_s)
+
+    def batch_queries(self, members) -> np.ndarray:
+        """The ``(B, n_cols)`` query block of one popped batch."""
+        return np.stack([self.queries[rid] for rid, _ in members])
+
+    def complete(
+        self, replica: int, dispatch_s: float, members, served
+    ) -> float:
+        """Apply one engine batch result; returns the modelled completion.
+
+        Advances the replica's board-free time by the *modelled*
+        ``served.seconds``, records traces/results/latencies, and schedules
+        the cache fill at the completion instant (applied by a later
+        :meth:`drain_completions` — results never time-travel into the
+        cache).
+        """
+        topk = check_served_batch(served, len(members))
+        state = self.states[replica]
+        completion = dispatch_s + served.seconds
+        state.queue.t_free = completion
+        inserts = []
+        for pos, (rid, arrival) in enumerate(members):
+            self.results[rid] = topk[pos]
+            latency = completion - arrival
+            self.latencies[rid] = latency
+            state.latencies.append(latency)
+            self.traces[rid] = RequestTrace(
+                request_id=rid,
+                arrival_s=arrival,
+                status=SERVED,
+                replica=replica,
+                dispatch_s=float(dispatch_s),
+                completion_s=float(completion),
+                latency_s=float(latency),
+            )
+            inserts.append(
+                (self.cache_key(rid) if self.cache is not None else None,
+                 topk[pos])
+            )
+        batch = ServedBatch(
+            indices=tuple(rid for rid, _ in members),
+            dispatch_s=float(dispatch_s),
+            service_s=float(served.seconds),
+        )
+        state.batches.append(batch)
+        self.all_batches.append(batch)
+        state.energy_j += served.energy_j
+        state.last_completion_s = completion
+        heapq.heappush(
+            self._completions, (completion, self._seq, replica, inserts)
+        )
+        self._seq += 1
+        return completion
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_offered(self) -> int:
+        """Requests offered so far (queued requests included)."""
+        return len(self.queries)
+
+    @property
+    def n_queued(self) -> int:
+        """Requests currently waiting in some replica's queue."""
+        return sum(s.queue.queued for s in self.states)
+
+    def recorded_stream(self) -> "tuple[np.ndarray, np.ndarray]":
+        """The offered ``(queries, arrivals)`` in request-id order.
+
+        This is the exact input a :class:`~repro.serving.cluster.
+        ClusterRuntime` needs to replay the run — queued-but-undispatched
+        requests are included, so replay a *finished* stream.
+        """
+        rids = sorted(self.queries)
+        queries = np.stack([self.queries[rid] for rid in rids])
+        arrivals = np.array(
+            [
+                self.traces[rid].arrival_s
+                if rid in self.traces
+                else self._queued_arrival(rid)
+                for rid in rids
+            ],
+            dtype=np.float64,
+        )
+        return queries, arrivals
+
+    def _queued_arrival(self, rid: int) -> float:
+        for state in self.states:
+            for qid, arrival in state.queue._pending:
+                if qid == rid:
+                    return arrival
+        raise ConfigurationError(
+            f"request {rid} has neither a trace nor a queue slot"
+        )

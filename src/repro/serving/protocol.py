@@ -1,0 +1,127 @@
+"""Length-prefixed JSON wire protocol of the live serving daemon.
+
+The live tier (:mod:`repro.serving.live`) speaks the simplest protocol that
+can carry exact results: every frame is a 4-byte big-endian body length
+followed by a UTF-8 JSON object.  JSON is enough because Python's ``json``
+round-trips ``float`` exactly (shortest-repr encode, exact decode), so a
+:class:`~repro.core.reference.TopKResult` crossing the socket comes back
+**bit-identical** — the property the replay suite and the exact-result
+cache are built on.  Length prefixes (rather than newline framing) keep
+the parser trivial and make oversized or truncated frames a typed
+:class:`~repro.errors.FormatError` instead of a hung ``readline``.
+
+Requests and responses are dicts with an ``op`` key; see
+:class:`repro.serving.live.LiveServer` for the op vocabulary.  This module
+only owns the framing and the result wire form — it has no opinion about
+ops, so the load generator and the daemon share it symmetrically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+import numpy as np
+
+from repro.core.reference import TopKResult
+from repro.errors import FormatError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "write_frame",
+    "result_to_wire",
+    "result_from_wire",
+]
+
+#: Hard cap on one frame's body, encode and decode side.  Large enough for
+#: any realistic query vector or Top-K payload, small enough that a corrupt
+#: length prefix cannot make the reader buffer gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialise one message to ``length || utf-8 json`` bytes."""
+    if not isinstance(message, dict):
+        raise FormatError(
+            f"protocol messages are JSON objects, got {type(message).__name__}"
+        )
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FormatError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte protocol cap"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> dict:
+    """Parse one frame body (without the length prefix) back to a message."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise FormatError(f"undecodable protocol frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise FormatError(
+            f"protocol messages are JSON objects, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> "dict | None":
+    """Read one message; ``None`` on a clean EOF at a frame boundary.
+
+    EOF *inside* a frame (mid-header or mid-body) is a peer crash, not a
+    clean close, and raises :class:`~repro.errors.FormatError`.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FormatError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FormatError(
+            f"peer announced a {length}-byte frame, over the "
+            f"{MAX_FRAME_BYTES}-byte protocol cap"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FormatError("connection closed mid-frame") from exc
+    return decode_frame(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Encode and send one message, draining the transport."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+def result_to_wire(result: TopKResult) -> dict:
+    """A :class:`TopKResult` as JSON-ready parallel lists.
+
+    Scores travel as Python floats — JSON's shortest-repr float encoding is
+    lossless for float64, so the decoded result is bit-identical.
+    """
+    return {
+        "indices": [int(i) for i in result.indices],
+        "values": [float(v) for v in result.values],
+    }
+
+
+def result_from_wire(payload: dict) -> TopKResult:
+    """Rebuild the exact :class:`TopKResult` from its wire form."""
+    try:
+        return TopKResult(
+            indices=np.asarray(payload["indices"], dtype=np.int64),
+            values=np.asarray(payload["values"], dtype=np.float64),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FormatError(f"malformed wire result: {exc}") from exc

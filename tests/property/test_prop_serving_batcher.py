@@ -86,3 +86,87 @@ def test_latencies_cover_queue_wait_plus_service(arrivals, params):
     for batch in report.batches:
         for rid in batch.indices:
             assert report.latencies_s[rid] == batch.completion_s - arrivals[rid]
+
+
+# --------------------------------------------------------------------- #
+# The arrivals-win-ties rule at max_wait_s=0 (the sharpest case: every
+# dispatch instant is an arrival instant, so ties are the common path,
+# not a corner).  Streams are built by duplicating drawn arrival values,
+# so exact float ties are guaranteed, not incidental.
+# --------------------------------------------------------------------- #
+tie_streams = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.02, allow_nan=False),
+        st.integers(min_value=1, max_value=3),    # exact repeats of the value
+    ),
+    min_size=1,
+    max_size=12,
+).map(
+    lambda groups: sorted(t for value, repeats in groups for t in [value] * repeats)
+)
+
+
+def _run_zero_wait(arrivals, max_batch, base_s):
+    engine = StubBatchEngine(base_s=base_s, per_query_s=0.0)
+    batcher = MicroBatcher(engine, max_batch_size=max_batch, max_wait_s=0.0)
+    results, report = batcher.run(
+        np.ones((len(arrivals), 8)), np.array(arrivals), top_k=1
+    )
+    return results, report
+
+
+@given(
+    arrivals=tie_streams,
+    max_batch=st.integers(min_value=1, max_value=4),
+    base_s=st.sampled_from([0.0, 1e-3, 7e-3]),
+)
+def test_zero_wait_arrival_at_dispatch_instant_joins_departing_batch(
+    arrivals, max_batch, base_s
+):
+    """A request landing exactly at a dispatch instant joins that batch.
+
+    Contract form: if a batch left with spare capacity, then every request
+    dispatched *later* arrived strictly after that batch's dispatch instant
+    — an arrival at or before it (ties included) would have joined.
+    """
+    _, report = _run_zero_wait(arrivals, max_batch, base_s)
+    arrivals = np.asarray(arrivals)
+    for b, batch in enumerate(report.batches):
+        if batch.size == max_batch:
+            continue
+        later = [i for nxt in report.batches[b + 1:] for i in nxt.indices]
+        assert all(arrivals[i] > batch.dispatch_s for i in later), (
+            f"batch {b} left partial at {batch.dispatch_s} although a "
+            "tie-or-earlier arrival was dispatched later"
+        )
+
+
+@given(
+    arrivals=tie_streams,
+    max_batch=st.integers(min_value=1, max_value=4),
+    base_s=st.sampled_from([0.0, 1e-3, 7e-3]),
+)
+def test_zero_wait_dispatches_at_head_or_board_free_exactly(
+    arrivals, max_batch, base_s
+):
+    """With no coalescing window the rule degenerates to
+    ``dispatch = max(head arrival, board free)`` — exactly, in floats."""
+    _, report = _run_zero_wait(arrivals, max_batch, base_s)
+    arrivals = np.asarray(arrivals)
+    t_free = 0.0
+    for batch in report.batches:
+        head = arrivals[list(batch.indices)].min()
+        assert batch.dispatch_s == max(head, t_free)
+        t_free = batch.completion_s
+
+
+@given(
+    arrivals=tie_streams,
+    max_batch=st.integers(min_value=1, max_value=4),
+    base_s=st.sampled_from([0.0, 1e-3]),
+)
+def test_zero_wait_everything_is_served_once(arrivals, max_batch, base_s):
+    results, report = _run_zero_wait(arrivals, max_batch, base_s)
+    dispatched = [i for b in report.batches for i in b.indices]
+    assert sorted(dispatched) == list(range(len(arrivals)))
+    assert all(r is not None for r in results)

@@ -18,6 +18,14 @@ from repro.core.reference import TopKResult
 __all__ = ["StubBatchEngine"]
 
 
+class _StubCollection:
+    """Just enough collection surface for cache keying (digest + width)."""
+
+    def __init__(self, digest: str, n_cols: int):
+        self.digest = str(digest)
+        self.n_cols = int(n_cols)
+
+
 @dataclass(frozen=True)
 class _StubBatch:
     topk: "list[TopKResult]"
@@ -39,12 +47,17 @@ class StubBatchEngine:
     """
 
     def __init__(self, base_s: float = 1e-3, per_query_s: float = 2e-4,
-                 power_w: float = 40.0, marker: int = 0, n_cols: int = 8):
+                 power_w: float = 40.0, marker: int = 0, n_cols: int = 8,
+                 digest: "str | None" = None):
         self.base_s = float(base_s)
         self.per_query_s = float(per_query_s)
         self.power_w = float(power_w)
         self.marker = int(marker)
         self.matrix = _StubMatrix(n_cols)
+        if digest is not None:
+            # Opt into cache-mode runs: ClusterRuntime keys its exact-result
+            # cache on the replica's collection digest.
+            self.collection = _StubCollection(digest, n_cols)
 
     def query_batch(self, queries, top_k):
         queries = np.atleast_2d(queries)

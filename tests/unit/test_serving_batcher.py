@@ -202,3 +202,83 @@ class TestBatchQueue:
         queue.push(0, 2.0)
         with pytest.raises(ConfigurationError):
             queue.push(1, 1.0)
+
+
+class TestShortEngineReturns:
+    """Regression: an engine returning the wrong number of results must
+    fail loudly at dispatch, not drop requests or die in an IndexError."""
+
+    class _ShortEngine:
+        """Returns one result fewer than the batch asked for."""
+
+        def __init__(self, drop: int = 1):
+            self.drop = drop
+            self.matrix = type("M", (), {"n_cols": 8})()
+
+        def query_batch(self, queries, top_k):
+            from serving_stubs import StubBatchEngine
+
+            served = StubBatchEngine(n_cols=8).query_batch(queries, top_k)
+            kept = served.topk[: max(0, len(served.topk) - self.drop)]
+            return type(served)(
+                topk=kept, seconds=served.seconds, energy_j=served.energy_j
+            )
+
+    def _stream(self, n):
+        return np.ones((n, 8)), np.zeros(n)
+
+    def test_short_return_raises_format_error(self):
+        from repro.errors import FormatError
+
+        batcher = MicroBatcher(
+            self._ShortEngine(), max_batch_size=4, max_wait_s=0.0
+        )
+        queries, arrivals = self._stream(4)
+        with pytest.raises(FormatError, match="3 result"):
+            batcher.run(queries, arrivals, top_k=1)
+
+    def test_empty_return_raises_format_error(self):
+        from repro.errors import FormatError
+
+        batcher = MicroBatcher(
+            self._ShortEngine(drop=4), max_batch_size=4, max_wait_s=0.0
+        )
+        queries, arrivals = self._stream(4)
+        with pytest.raises(FormatError, match="0 result"):
+            batcher.run(queries, arrivals, top_k=1)
+
+    def test_topkless_return_raises_format_error(self):
+        from repro.errors import FormatError
+
+        class NoTopk:
+            matrix = type("M", (), {"n_cols": 8})()
+
+            def query_batch(self, queries, top_k):
+                return type("R", (), {"seconds": 1e-3, "energy_j": 0.0})()
+
+        batcher = MicroBatcher(NoTopk(), max_batch_size=2, max_wait_s=0.0)
+        queries, arrivals = self._stream(2)
+        with pytest.raises(FormatError, match="no topk attribute"):
+            batcher.run(queries, arrivals, top_k=1)
+
+    def test_cluster_tier_rejects_short_returns_too(self):
+        from repro.errors import FormatError
+        from repro.serving.cluster import ClusterRuntime
+
+        runtime = ClusterRuntime(
+            [self._ShortEngine()], max_batch_size=4, max_wait_s=0.0
+        )
+        queries, arrivals = self._stream(4)
+        with pytest.raises(FormatError, match="result"):
+            runtime.run(queries, arrivals, top_k=1)
+
+    def test_well_behaved_engine_unaffected(self):
+        from serving_stubs import StubBatchEngine
+
+        batcher = MicroBatcher(
+            StubBatchEngine(n_cols=8), max_batch_size=4, max_wait_s=0.0
+        )
+        queries, arrivals = self._stream(5)
+        results, report = batcher.run(queries, arrivals, top_k=1)
+        assert len(results) == 5
+        assert all(r is not None for r in results)

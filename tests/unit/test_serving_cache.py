@@ -164,3 +164,62 @@ class TestGenerationKeying:
         b.delete(1)
         assert a.generation == b.generation
         assert collection_version(a) != collection_version(b)
+
+
+class TestRefreshAccounting:
+    """Regression: a re-put of an existing key must not count as insertion.
+
+    ``insertions`` counting refreshes broke the conservation law
+    ``insertions - evictions - invalidations == len(cache)`` that stats
+    consumers (and capacity planning on top of them) rely on.
+    """
+
+    def _conserved(self, cache: QueryCache) -> bool:
+        return (
+            cache.insertions - cache.evictions - cache.invalidations
+            == len(cache)
+        )
+
+    def test_refresh_counts_as_refresh_not_insertion(self):
+        cache = QueryCache(4)
+        key = ("d", "0", "float64", b"q", 10)
+        cache.put(key, _result(1))
+        cache.put(key, _result(2))
+        cache.put(key, _result(2))
+        assert cache.insertions == 1
+        assert cache.refreshes == 2
+        assert len(cache) == 1
+        assert self._conserved(cache)
+        # The refresh replaced the stored value.
+        got = cache.get(key)
+        assert got.indices.tolist() == _result(2).indices.tolist()
+
+    def test_refresh_still_renews_recency(self):
+        cache = QueryCache(2)
+        cache.put("a", _result(1))
+        cache.put("b", _result(2))
+        cache.put("a", _result(3))   # refresh: "a" becomes most recent
+        cache.put("c", _result(4))   # evicts "b", the true LRU
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+        assert self._conserved(cache)
+
+    def test_conservation_holds_under_mixed_traffic(self):
+        cache = QueryCache(3)
+        for i in range(10):
+            cache.put(("k", i % 5), _result(i))
+            assert self._conserved(cache)
+        cache.invalidate_digest("k"[0])
+        assert self._conserved(cache)
+
+    def test_stats_reports_refreshes(self):
+        cache = QueryCache(2)
+        cache.put("a", _result(1))
+        cache.put("a", _result(1))
+        stats = cache.stats()
+        assert stats["insertions"] == 1
+        assert stats["refreshes"] == 1
+        assert (
+            stats["insertions"] - stats["evictions"] - stats["invalidations"]
+            == stats["entries"]
+        )

@@ -1,0 +1,120 @@
+"""Unit tests for the live daemon's length-prefixed JSON wire protocol."""
+
+import asyncio
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.reference import TopKResult
+from repro.errors import FormatError
+from repro.serving.protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    result_from_wire,
+    result_to_wire,
+)
+
+
+def _read_from_bytes(data: bytes, n_frames: int = 1):
+    """Drive ``read_frame`` off an in-memory byte stream."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return [await read_frame(reader) for _ in range(n_frames)]
+
+    return asyncio.run(run())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"op": "query", "id": 3, "query": [0.25, 1.0, -0.5]}
+        frame = encode_frame(message)
+        assert frame[:4] == struct.pack(">I", len(frame) - 4)
+        assert decode_frame(frame[4:]) == message
+
+    def test_stream_round_trip_multiple_frames(self):
+        messages = [{"op": "ping"}, {"op": "stats"}, {"op": "shutdown"}]
+        data = b"".join(encode_frame(m) for m in messages)
+        assert _read_from_bytes(data, n_frames=3) == messages
+
+    def test_clean_eof_at_boundary_is_none(self):
+        frames = _read_from_bytes(encode_frame({"op": "ping"}), n_frames=2)
+        assert frames == [{"op": "ping"}, None]
+
+    def test_eof_mid_header_raises(self):
+        with pytest.raises(FormatError, match="mid-header"):
+            _read_from_bytes(b"\x00\x00")
+
+    def test_eof_mid_body_raises(self):
+        frame = encode_frame({"op": "ping"})
+        with pytest.raises(FormatError, match="mid-frame"):
+            _read_from_bytes(frame[:-1])
+
+    def test_announced_oversize_frame_rejected_before_buffering(self):
+        header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(FormatError, match="protocol cap"):
+            _read_from_bytes(header)
+
+    def test_encode_rejects_non_dict(self):
+        with pytest.raises(FormatError, match="JSON objects"):
+            encode_frame(["not", "a", "dict"])
+
+    def test_decode_rejects_non_dict_body(self):
+        with pytest.raises(FormatError, match="JSON objects"):
+            decode_frame(json.dumps([1, 2]).encode())
+
+    def test_decode_rejects_garbage_bytes(self):
+        with pytest.raises(FormatError, match="undecodable"):
+            decode_frame(b"\xff\xfe not json")
+
+
+class TestResultWire:
+    def test_round_trip_is_bit_identical(self):
+        rng = np.random.default_rng(11)
+        result = TopKResult(
+            indices=rng.integers(0, 2**40, size=16).astype(np.int64),
+            values=rng.standard_normal(16) * 1e-7,
+        )
+        wired = result_from_wire(result_to_wire(result))
+        assert wired.indices.tobytes() == result.indices.tobytes()
+        assert wired.values.tobytes() == result.values.tobytes()
+        assert wired.indices.dtype == np.int64
+        assert wired.values.dtype == np.float64
+
+    def test_awkward_floats_survive_json(self):
+        # Shortest-repr JSON floats are lossless for float64 — including
+        # subnormals, exact powers of two, and values with no short decimal.
+        values = np.array(
+            [5e-324, 2.0**-1022, 0.1 + 0.2, 1.0 / 3.0, -0.0, 1e308]
+        )
+        result = TopKResult(
+            indices=np.arange(len(values), dtype=np.int64), values=values
+        )
+        body = json.dumps(result_to_wire(result))
+        wired = result_from_wire(json.loads(body))
+        assert wired.values.tobytes() == values.tobytes()
+
+    def test_full_frame_round_trip_preserves_bits(self):
+        result = TopKResult(
+            indices=np.array([7, 3], dtype=np.int64),
+            values=np.array([0.30000000000000004, 1e-300]),
+        )
+        message = {"op": "result", "id": 0, **result_to_wire(result)}
+        (echoed,) = _read_from_bytes(encode_frame(message))
+        wired = result_from_wire(echoed)
+        assert wired.values.tobytes() == result.values.tobytes()
+        assert wired.indices.tobytes() == result.indices.tobytes()
+
+    def test_malformed_payload_raises_format_error(self):
+        with pytest.raises(FormatError, match="malformed wire result"):
+            result_from_wire({"indices": [0]})  # no values
+
+    def test_non_numeric_payload_raises_format_error(self):
+        with pytest.raises(FormatError, match="malformed wire result"):
+            result_from_wire({"indices": ["x"], "values": [1.0]})

@@ -171,3 +171,46 @@ class TestCorruption:
             _np.savez(handle, **arrays)
         with pytest.raises(FormatError, match="digest"):
             ServingReport.load(path)
+
+
+class TestKindDispatch:
+    """Regression: the artifact kind is class-dispatched, not hard-coded.
+
+    ``load`` used to verify the literal ``REPORT_KIND`` no matter which class
+    it was called on, so a subclass persisting under its own kind could not
+    reload itself through the inherited loader.
+    """
+
+    class _TaggedReport(ServingReport):
+        @classmethod
+        def _artifact_kind(cls) -> str:
+            return "tagged-serving-report"
+
+    def _tagged(self, report):
+        return self._TaggedReport(
+            latencies_s=report.latencies_s,
+            batches=report.batches,
+            span_s=report.span_s,
+            energy_j=report.energy_j,
+        )
+
+    def test_subclass_round_trips_under_its_own_kind(self, tmp_path, report):
+        path = tmp_path / "tagged.npz"
+        self._tagged(report).save(path)
+        loaded = self._TaggedReport.load(path)
+        assert type(loaded) is self._TaggedReport
+        assert loaded.latencies_s.tobytes() == report.latencies_s.tobytes()
+        assert loaded.batches == report.batches
+        assert loaded.to_dict() == report.to_dict()
+
+    def test_base_loader_refuses_the_subclass_artifact(self, tmp_path, report):
+        path = tmp_path / "tagged.npz"
+        self._tagged(report).save(path)
+        with pytest.raises(FormatError, match="tagged-serving-report"):
+            ServingReport.load(path)
+
+    def test_subclass_loader_refuses_a_base_artifact(self, tmp_path, report):
+        path = tmp_path / "plain.npz"
+        report.save(path)
+        with pytest.raises(FormatError, match="serving-report"):
+            self._TaggedReport.load(path)
