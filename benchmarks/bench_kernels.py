@@ -1,20 +1,35 @@
-"""Benchmarks for the pluggable SpMV kernel backends (ISSUE-4 tentpole).
+"""Benchmarks for the pluggable SpMV kernel backends (ISSUE-4 tentpole,
+ISSUE-7 native backend).
 
 Times every registered backend on the serve-bench synthetic collection
 (20k x 512, avg 20 nnz, 20-bit design, Q = 128), checks all of them
 bit-identical on the measured workload, emits
 ``benchmarks/results/kernels_speedup.json`` so successive PRs can track the
-query-path trajectory, and asserts the acceptance floor: the best backend
->= 2x over the gather kernel (it is >= 2x even against today's auto-chunked
-gather; against the PR-1 configuration — hardcoded ``chunk = 32`` — the
-margin is wider, and both numbers are recorded).
+query-path trajectory, and asserts the acceptance floors:
+
+* the best backend >= 2x over the gather kernel (it is >= 2x even against
+  today's auto-chunked gather; against the PR-1 configuration — hardcoded
+  ``chunk = 32`` — the margin is wider, and both numbers are recorded);
+* where Numba is installed, the compiled ``native`` backend >= 10x over the
+  contraction kernel at Q = 128.  Without Numba the backend is registry-
+  unavailable (it would silently time its streaming fallback), so it is
+  excluded from the timing table and the floor is soft-skipped — the
+  payload records ``native_available`` either way so CI's with/without-
+  Numba jobs stay distinguishable.
 
 A second, skewed collection (rows sorted by decaying magnitude) records the
 streaming kernel's block-skip behaviour, where provable threshold pruning
-lets whole row blocks go ungathered.
+lets whole row blocks go ungathered; the native kernel's per-query variant
+of the same screen is timed alongside when available.
+
+``REPRO_BENCH_QUICK=1`` (exported by ``repro bench-all --quick``) shrinks
+the collections and the query block so the emitter finishes in seconds;
+bit-identity is still enforced but the timing floors are waived — at toy
+sizes they measure fixed overheads, not kernels.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -23,15 +38,23 @@ import numpy as np
 from repro import PAPER_DESIGNS, compile_collection
 from repro.core.dataflow import simulate_multicore_batch
 from repro.core.kernels import KernelRequest, available_kernels, run_kernel
+from repro.core.kernels.native import native_available
 from repro.data.synthetic import synthetic_embeddings
 from repro.formats.csr import CSRMatrix
 from repro.utils.rng import derive_rng, sample_unit_queries
 
-Q = 128
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+Q = 16 if QUICK else 128
+N_ROWS = 4_000 if QUICK else 20_000
 TOP_LOCAL_K = 8
 # The built-in concrete backends ("auto" only delegates; test stubs may join
 # the registry when the suites share a session, so the set is pinned).
+# ``native`` joins the timing table only when it will actually run compiled
+# code — unavailable it resolves to its streaming fallback and the row
+# would duplicate the streaming timing under another name.
 BACKENDS = ["gather", "streaming", "contraction"]
+if native_available():
+    BACKENDS.append("native")
 assert set(BACKENDS) <= set(available_kernels())
 
 
@@ -71,12 +94,13 @@ def test_kernel_backends_speedup():
     """Every backend timed + bit-checked; best must clear the 2x floor."""
     design = PAPER_DESIGNS["20b"]
     matrix = synthetic_embeddings(
-        n_rows=20_000, n_cols=512, avg_nnz=20, distribution="uniform", seed=42
+        n_rows=N_ROWS, n_cols=512, avg_nnz=20, distribution="uniform", seed=42
     )
     collection = compile_collection(matrix, design)
     X = design.quantize_query(sample_unit_queries(derive_rng(0), Q, 512))
 
-    # Warm every path once (plans, operand, allocator) before timing.
+    # Warm every path once (plans, operand, allocator — and, for native,
+    # the JIT compile, which must not land in the timed region).
     reference = _run(collection, X, "gather")
     timings = {}
     for name in BACKENDS:
@@ -94,7 +118,7 @@ def test_kernel_backends_speedup():
     # partition* (think norm-sorted ANN shards), so once the scratchpads
     # fill, the streaming kernel's provable block skip prunes the tails.
     rng = np.random.default_rng(7)
-    n_skew_parts, part_size = 4, 5_000
+    n_skew_parts, part_size = (2, 1_250) if QUICK else (4, 5_000)
     rows = []
     for r in range(n_skew_parts * part_size):
         cols = np.sort(rng.choice(512, size=8, replace=False))
@@ -105,9 +129,9 @@ def test_kernel_backends_speedup():
     )
     Xs = design.quantize_query(sample_unit_queries(derive_rng(1), Q, 512))
     skew_reference = _run(skewed, Xs, "gather")
-    # One streaming sweep serves both the bit-identity check and the
-    # per-run skip stats off its KernelOutput (the singleton's
-    # last_skip_fraction mirror is deprecated).
+    # One streaming sweep serves both the bit-identity check and the skip
+    # stats: the backends are stateless, so the counters ride this run's
+    # KernelOutput rather than any singleton attribute.
     streaming_out = run_kernel(
         KernelRequest(
             X=Xs,
@@ -127,27 +151,53 @@ def test_kernel_backends_speedup():
             assert got.values.tobytes() == want.values.tobytes()
     skew_gather_s = _best_of(lambda: _run(skewed, Xs, "gather"))
     skew_streaming_s = _best_of(lambda: _run(skewed, Xs, "streaming"))
+    skewed_payload = {
+        "gather_s": skew_gather_s,
+        "streaming_s": skew_streaming_s,
+        "streaming_skip_fraction": skip_fraction,
+    }
+    if "native" in BACKENDS:
+        _assert_bit_identical(skew_reference, _run(skewed, Xs, "native"), "native")
+        native_out = run_kernel(
+            KernelRequest(
+                X=Xs,
+                plans=tuple(skewed.stream_plans()),
+                accumulate_dtype=skewed.design.accumulate_dtype,
+                local_k=TOP_LOCAL_K,
+            ),
+            "native",
+        )
+        skewed_payload["native_s"] = _best_of(lambda: _run(skewed, Xs, "native"))
+        # Per-query screening prunes at least as much as the streaming
+        # kernel's chunk-consensus screen, usually more.
+        skewed_payload["native_skip_fraction"] = native_out.skip_fraction
 
     results_dir = Path(__file__).parent / "results"
     results_dir.mkdir(exist_ok=True)
     payload = {
-        "collection": {"rows": 20_000, "cols": 512, "avg_nnz": 20, "seed": 42},
+        "collection": {"rows": N_ROWS, "cols": 512, "avg_nnz": 20, "seed": 42},
         "design": "20b",
         "n_queries": Q,
+        "quick": QUICK,
+        "native_available": native_available(),
         "backend_seconds": timings,
         "speedup_vs_gather": speedups,
         "best_backend": best,
         "pr1_gather_chunk32_s": pr1_gather_s,
         "speedup_best_vs_pr1": pr1_gather_s / timings[best],
-        "skewed": {
-            "gather_s": skew_gather_s,
-            "streaming_s": skew_streaming_s,
-            "streaming_skip_fraction": skip_fraction,
-        },
+        "skewed": skewed_payload,
     }
+    if "native" in timings:
+        payload["speedup_native_vs_contraction"] = (
+            timings["contraction"] / timings["native"]
+        )
     with open(results_dir / "kernels_speedup.json", "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
 
+    if QUICK:
+        # Toy sizes time fixed overheads, not kernels: the floors below
+        # only hold at the full benchmark scale.
+        return
     assert skip_fraction > 0.5, (
         f"streaming kernel skipped only {skip_fraction:.0%} of the skewed "
         "collection's rows"
@@ -156,3 +206,9 @@ def test_kernel_backends_speedup():
         f"best kernel ({best}) is only {speedups[best]:.2f}x over gather at "
         f"Q={Q} (floor: 2x)"
     )
+    if "native" in timings:
+        native_speedup = timings["contraction"] / timings["native"]
+        assert native_speedup >= 10.0, (
+            f"native kernel is only {native_speedup:.1f}x over contraction "
+            f"at Q={Q} (floor: 10x)"
+        )

@@ -1,10 +1,29 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Install metadata for the reproduction package.
 
-The canonical metadata lives in ``pyproject.toml``; this file only enables
-``pip install -e . --no-use-pep517`` (legacy editable installs) on offline
-machines whose setuptools cannot build PEP 660 wheels.
+Kept as a plain ``setup.py`` so legacy editable installs
+(``pip install -e . --no-use-pep517``) keep working on offline machines
+whose setuptools cannot build PEP 660 wheels.
+
+The ``native`` extra pulls in Numba for the compiled kernel backend
+(``--kernel native``); without it the package still imports and runs —
+the registry resolves ``native`` to its streaming fallback.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-topk-spmv",
+    version="0.7.0",
+    description=(
+        "Reproduction of 'Scaling up HBM Efficiency of Top-K SpMV for "
+        "Approximate Embedding Similarity on FPGAs' (DAC 2021)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+    extras_require={
+        "native": ["numba>=0.57"],
+        "dev": ["pytest", "hypothesis", "pytest-cov"],
+    },
+)

@@ -144,14 +144,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serving.add_argument(
         "--kernel", type=str, default=None,
-        help="batch-query kernel backend: auto, gather, streaming or "
-        "contraction (default: $REPRO_KERNEL or auto); every backend is "
-        "bit-identical — this only changes speed",
+        help="batch-query kernel backend: auto, gather, streaming, "
+        "contraction or native (default: $REPRO_KERNEL or auto); every "
+        "backend is bit-identical — this only changes speed",
     )
     serving.add_argument(
-        "--kernel-workers", type=int, default=None,
-        help="partition-parallel threads for the batch kernel "
-        "(default: $REPRO_KERNEL_WORKERS or 1)",
+        "--kernel-workers", type=str, default=None,
+        help="partition-parallel workers for the batch kernel; 'auto' or 0 "
+        "means all cores (default: $REPRO_KERNEL_WORKERS or 1)",
+    )
+    serving.add_argument(
+        "--executor", type=str, default=None, choices=["thread", "process"],
+        help="partition executor for the batch kernel: thread (default) or "
+        "process — spawned workers attaching the plan buffers via shared "
+        "memory (default: $REPRO_KERNEL_EXECUTOR or thread); bit-neutral",
     )
     serving.add_argument(
         "--json", type=str, default=None, metavar="PATH",
@@ -271,6 +277,7 @@ def _serve_bench_config(args: argparse.Namespace) -> "ServeBenchConfig":
         queue_capacity=args.queue_capacity,
         kernel=args.kernel,
         kernel_workers=args.kernel_workers,
+        kernel_executor=args.executor,
     )
     if args.quick:
         config = config.quick()
@@ -319,6 +326,7 @@ def _build_live_runtime(args: argparse.Namespace):
             cores_per_shard=config.cores_per_shard,
             kernel=config.kernel,
             kernel_workers=config.kernel_workers,
+            kernel_executor=config.kernel_executor,
         )
         for _ in range(config.replicas)
     ]
@@ -650,7 +658,10 @@ def _run_bench_all(args: argparse.Namespace) -> int:
     test modules that also enforce speedup floors), and the consolidated
     ``BENCH_summary.json`` lands next to the per-benchmark payloads in
     ``benchmarks/results/`` so the perf trajectory is one artifact per
-    commit.  Exit code is non-zero when any benchmark fails its floor.
+    commit.  ``--quick`` exports ``REPRO_BENCH_QUICK=1`` to every emitter
+    — reduced problem sizes, same floors where they stay meaningful — so
+    CI can regenerate the whole results directory on every run.  Exit
+    code is non-zero when any benchmark fails its floor.
     """
     import repro
 
@@ -668,6 +679,8 @@ def _run_bench_all(args: argparse.Namespace) -> int:
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (src_root, env.get("PYTHONPATH")) if p
     )
+    if args.quick:
+        env["REPRO_BENCH_QUICK"] = "1"
     runs: dict = {}
     failed = []
     for path in files:
@@ -699,6 +712,7 @@ def _run_bench_all(args: argparse.Namespace) -> int:
     results_dir = bench_dir / "results"
     results_dir.mkdir(exist_ok=True)
     summary = consolidate_bench_results(results_dir, runs)
+    summary["quick"] = bool(args.quick)
     summary_path = results_dir / "BENCH_summary.json"
     with open(summary_path, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)

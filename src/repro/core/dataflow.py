@@ -421,9 +421,10 @@ def simulate_multicore_batch(
     accumulate_dtype: np.dtype = np.float64,
     plans: "list[StreamPlan] | None" = None,
     kernel: "str | None" = None,
-    n_workers: "int | None" = None,
+    n_workers: "int | str | None" = None,
     operand=None,
     query_chunk: "int | None" = None,
+    executor: "str | None" = None,
 ) -> tuple[list[list[TopKResult]], list[DataflowStats]]:
     """Run a ``(Q, n_cols)`` query block through every partition's core.
 
@@ -447,12 +448,18 @@ def simulate_multicore_batch(
         with ``matrix.streams``); serving layers cache these across batches.
     kernel:
         Backend name (``"gather"``, ``"streaming"``, ``"contraction"``,
-        ``"auto"``); ``None`` defers to ``$REPRO_KERNEL`` or the default.
-        Backends that cannot guarantee the request's accumulation order
-        fall back to the reference kernel automatically.
+        ``"native"``, ``"auto"``); ``None`` defers to ``$REPRO_KERNEL`` or
+        the default.  Backends that cannot guarantee the request's
+        accumulation order fall back to the reference kernel automatically.
     n_workers:
-        Partition-parallel thread count; ``None`` defers to
-        ``$REPRO_KERNEL_WORKERS`` or 1.  Bit-neutral.
+        Partition-parallel worker count (``"auto"``/``0`` = all cores);
+        ``None`` defers to ``$REPRO_KERNEL_WORKERS`` or 1.  Bit-neutral.
+    executor:
+        Partition executor, ``"thread"`` (default) or ``"process"``
+        (spawned workers attaching the plan buffers through shared
+        memory); ``None`` defers to ``$REPRO_KERNEL_EXECUTOR``.
+        Bit-neutral — partitions are independent and results are
+        reassembled in partition order.
     operand:
         Optional pre-lowered
         :class:`~repro.core.kernels.contraction.ContractionOperand` aligned
@@ -474,6 +481,7 @@ def simulate_multicore_batch(
         KernelRequest,
         codecs_grid_bits,
         lower_plans,
+        resolve_executor,
         resolve_kernel_name,
         resolve_workers,
         run_kernel,
@@ -510,6 +518,7 @@ def simulate_multicore_batch(
         operand=operand,
         n_workers=resolve_workers(n_workers),
         query_chunk=query_chunk,
+        executor=resolve_executor(executor),
     )
     out = run_kernel(request, kernel_name)
 

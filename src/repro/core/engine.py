@@ -174,7 +174,8 @@ class TopKSpmvEngine(MutableEngineMixin):
         uram: URAMSpec = ALVEO_U280_URAM,
         constants: CalibrationConstants = CALIBRATION,
         kernel: "str | None" = None,
-        kernel_workers: "int | None" = None,
+        kernel_workers: "int | str | None" = None,
+        kernel_executor: "str | None" = None,
     ):
         """Attach a board to a collection, compiling it if necessary.
 
@@ -203,8 +204,14 @@ class TopKSpmvEngine(MutableEngineMixin):
             Every backend returns bit-identical results — this is a pure
             software-performance knob.
         kernel_workers:
-            Partition-parallel thread count for the batch path; ``None``
-            defers to ``$REPRO_KERNEL_WORKERS`` or 1.  Bit-neutral.
+            Partition-parallel worker count for the batch path
+            (``"auto"``/``0`` = all cores); ``None`` defers to
+            ``$REPRO_KERNEL_WORKERS`` or 1.  Bit-neutral.
+        kernel_executor:
+            Partition executor for the batch path, ``"thread"`` (default)
+            or ``"process"`` (spawned workers over shared-memory plan
+            buffers); ``None`` defers to ``$REPRO_KERNEL_EXECUTOR``.
+            Bit-neutral.
         """
         from repro.core.collection import (
             CompiledCollection,
@@ -249,6 +256,7 @@ class TopKSpmvEngine(MutableEngineMixin):
         )
         self.kernel = kernel
         self.kernel_workers = kernel_workers
+        self.kernel_executor = kernel_executor
         self.accelerator = TopKSpmvAccelerator(design, hbm, constants)
         # Timing depends only on the stream shape, not the query: cache it.
         # A segmented collection mutates, so its timing is derived lazily
@@ -268,7 +276,8 @@ class TopKSpmvEngine(MutableEngineMixin):
         uram: URAMSpec = ALVEO_U280_URAM,
         constants: CalibrationConstants = CALIBRATION,
         kernel: "str | None" = None,
-        kernel_workers: "int | None" = None,
+        kernel_workers: "int | str | None" = None,
+        kernel_executor: "str | None" = None,
     ) -> "TopKSpmvEngine":
         """Serve a pre-compiled (or loaded) collection on a simulated board."""
         return cls(
@@ -278,6 +287,7 @@ class TopKSpmvEngine(MutableEngineMixin):
             constants=constants,
             kernel=kernel,
             kernel_workers=kernel_workers,
+            kernel_executor=kernel_executor,
         )
 
     # The query-independent state lives on the compiled artifact; the engine
@@ -405,6 +415,7 @@ class TopKSpmvEngine(MutableEngineMixin):
             kernel=self.kernel,
             n_workers=self.kernel_workers,
             operand=operand,
+            executor=self.kernel_executor,
         )
 
     def query_batch(self, queries: np.ndarray, top_k: int) -> "BatchResult":

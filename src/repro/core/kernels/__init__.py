@@ -6,6 +6,10 @@ Modules
     The :class:`KernelBackend` contract, the registry, request/output
     types, worker/chunk auto-tuning and the gated :func:`run_kernel`
     driver.
+``executor``
+    Partition execution: worker/executor resolution, the thread pool and
+    the ``multiprocessing.shared_memory``-backed process pool
+    (:class:`SharedPlanArena`) behind :func:`map_partitions`.
 ``scratchpad``
     :class:`BatchScratchpads` — every query's k-entry Top-K scratchpad,
     foldable block by block, bit-identical to sequential tracker inserts.
@@ -17,6 +21,10 @@ Modules
 ``contraction``
     Collection-level SciPy CSR contraction, gated on provably exact
     (order-independent) float64 accumulation.
+``native``
+    The streaming fold as Numba ``@njit`` loops (optional dependency;
+    falls back to ``streaming`` when Numba is absent), with per-query
+    threshold skipping and a gated exact sequential-sum path.
 ``segmented``
     The multi-segment driver for mutable collections: per-segment kernel
     choice, one global Top-K fold with cross-segment threshold carry.
@@ -24,7 +32,9 @@ Modules
 Selection: ``kernel=`` arguments on the engines /
 ``simulate_multicore_batch``, the ``--kernel`` CLI flag, or the
 ``REPRO_KERNEL`` environment variable; ``REPRO_KERNEL_WORKERS`` sets the
-partition-thread count.  Every backend is locked bit-identical to
+partition worker count (``auto``/``0`` = all cores) and
+``REPRO_KERNEL_EXECUTOR`` picks ``thread`` (default) or ``process``
+partition execution.  Every backend is locked bit-identical to
 ``DataflowCore.run_fast`` by ``tests/property/test_prop_kernels.py``;
 backends that cannot guarantee a request's accumulation order fall back to
 the reference kernel automatically.
@@ -32,6 +42,7 @@ the reference kernel automatically.
 
 from repro.core.kernels.base import (
     DEFAULT_KERNEL,
+    EXECUTOR_ENV_VAR,
     FALLBACK_KERNEL,
     KERNEL_ENV_VAR,
     WORKERS_ENV_VAR,
@@ -43,10 +54,12 @@ from repro.core.kernels.base import (
     get_kernel,
     map_partitions,
     register_kernel,
+    resolve_executor,
     resolve_kernel_name,
     resolve_workers,
     run_kernel,
 )
+from repro.core.kernels.executor import SharedPlanArena
 from repro.core.kernels.scratchpad import BatchScratchpads, batch_scratchpads
 from repro.core.kernels.gather import GatherKernel, run_plan_gather
 from repro.core.kernels.streaming import StreamingKernel
@@ -56,6 +69,11 @@ from repro.core.kernels.contraction import (
     codec_grid_bits,
     codecs_grid_bits,
     lower_plans,
+)
+from repro.core.kernels.native import (
+    NativeKernel,
+    native_available,
+    reduceat_segment_sums,
 )
 from repro.core.kernels.auto import AutoKernel
 from repro.core.kernels.segmented import (
@@ -76,9 +94,11 @@ __all__ = [
     "available_kernels",
     "resolve_kernel_name",
     "resolve_workers",
+    "resolve_executor",
     "auto_query_chunk",
     "map_partitions",
     "run_kernel",
+    "SharedPlanArena",
     "BatchScratchpads",
     "batch_scratchpads",
     "GatherKernel",
@@ -89,9 +109,13 @@ __all__ = [
     "codec_grid_bits",
     "codecs_grid_bits",
     "lower_plans",
+    "NativeKernel",
+    "native_available",
+    "reduceat_segment_sums",
     "AutoKernel",
     "DEFAULT_KERNEL",
     "FALLBACK_KERNEL",
     "KERNEL_ENV_VAR",
     "WORKERS_ENV_VAR",
+    "EXECUTOR_ENV_VAR",
 ]

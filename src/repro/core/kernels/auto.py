@@ -1,12 +1,14 @@
 """The default backend: first of the preference order that fits the request.
 
-Preference: ``contraction`` (the fastest when its exactness gate passes,
-e.g. the paper's 20-bit design on quantised queries) then ``streaming``
-(unconditionally bit-exact, tighter working set than the reference and able
-to skip provably-rejected row blocks).  The reference ``gather`` kernel
-remains one ``--kernel gather`` away and is the fallback of every backend
-here, so "auto" can never produce different bits than the reference — only
-produce them faster.
+Preference: ``native`` (the compiled streaming fold — fastest whenever
+Numba is installed, with per-query threshold skipping on top), then
+``contraction`` (the fastest interpreted path when its exactness gate
+passes, e.g. the paper's 20-bit design on quantised queries), then
+``streaming`` (unconditionally bit-exact, tighter working set than the
+reference and able to skip provably-rejected row blocks).  The reference
+``gather`` kernel remains one ``--kernel gather`` away and is the fallback
+of every backend here, so "auto" can never produce different bits than the
+reference — only produce them faster.
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ from repro.core.kernels.base import (
 __all__ = ["AutoKernel"]
 
 #: Tried in order; the last entry must support every request.
-PREFERENCE = ("contraction", "streaming", "gather")
+PREFERENCE = ("native", "contraction", "streaming", "gather")
 
 
 class AutoKernel(KernelBackend):

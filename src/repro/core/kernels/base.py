@@ -22,6 +22,11 @@ Backends therefore differ only in *how* they compute the same bits:
     One collection-level sparse·dense product (SciPy CSR), valid only when
     fixed-point value/query grids make float64 accumulation provably exact
     (order-independent); otherwise it falls back automatically.
+``native``
+    The streaming fold compiled with Numba (optional dependency) — flat
+    ``@njit`` loops over the plan buffers reproducing ``np.add.reduceat``'s
+    pairwise tree bit for bit; unavailable (and substituted by its
+    ``streaming`` fallback) when Numba is absent.
 ``auto``
     The first backend of the preference order that supports the request.
 
@@ -34,11 +39,17 @@ fallback, so callers always get the guaranteed bits.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.kernels.executor import (  # noqa: F401 - re-exported API
+    EXECUTOR_ENV_VAR,
+    WORKERS_ENV_VAR,
+    map_partitions,
+    resolve_executor,
+    resolve_workers,
+)
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -50,6 +61,7 @@ __all__ = [
     "available_kernels",
     "resolve_kernel_name",
     "resolve_workers",
+    "resolve_executor",
     "auto_query_chunk",
     "map_partitions",
     "run_kernel",
@@ -57,13 +69,11 @@ __all__ = [
     "FALLBACK_KERNEL",
     "KERNEL_ENV_VAR",
     "WORKERS_ENV_VAR",
+    "EXECUTOR_ENV_VAR",
 ]
 
 #: Environment variable overriding the default backend name.
 KERNEL_ENV_VAR = "REPRO_KERNEL"
-
-#: Environment variable overriding the partition-thread count.
-WORKERS_ENV_VAR = "REPRO_KERNEL_WORKERS"
 
 #: Backend used when none is named (and the env var is unset).
 DEFAULT_KERNEL = "auto"
@@ -94,12 +104,17 @@ class KernelRequest:
         aligned with ``plans``; ``None`` disables the contraction backend
         unless it is requested by name.
     n_workers:
-        Threads for partition-parallel execution (1 = inline).  Partition
+        Workers for partition-parallel execution (1 = inline).  Partition
         results are written by index, so scheduling cannot change any bit.
     query_chunk:
         Query-block chunk width; ``None`` lets each backend auto-tune it
         against its working-set size.  Chunking is bit-neutral (queries are
         independent rows of every intermediate).
+    executor:
+        ``"thread"`` or ``"process"`` partition fan-out (``None`` defers
+        to ``$REPRO_KERNEL_EXECUTOR`` or the thread default); see
+        :mod:`repro.core.kernels.executor`.  Bit-neutral like
+        ``n_workers``.
     """
 
     X: np.ndarray
@@ -109,6 +124,7 @@ class KernelRequest:
     operand: "object | None" = None
     n_workers: int = 1
     query_chunk: "int | None" = None
+    executor: "str | None" = None
 
     @property
     def n_queries(self) -> int:
@@ -160,6 +176,19 @@ class KernelBackend:
         """Execute the sweep; only called when :meth:`supports` is true."""
         raise NotImplementedError
 
+    def run_partition(self, index: int, plan, *, X, **params):
+        """One partition's share of a sweep, as a *picklable* entry point.
+
+        Partition-parallel backends implement this (and route ``run``
+        through it) so the process executor can ship the bound method to
+        spawn workers, which rebuild ``plan``/``X`` as zero-copy views
+        over the shared-memory arena.  Implementations must return only
+        freshly allocated arrays — never views of ``plan`` or ``X``.
+        Collection-level backends (contraction) have no per-partition
+        unit and leave this unimplemented.
+        """
+        raise NotImplementedError
+
 
 _REGISTRY: "dict[str, KernelBackend]" = {}
 
@@ -196,21 +225,6 @@ def resolve_kernel_name(name: "str | None" = None) -> str:
     return resolved
 
 
-def resolve_workers(n_workers: "int | None" = None) -> int:
-    """An explicit count, else ``$REPRO_KERNEL_WORKERS``, else 1 (inline)."""
-    if n_workers is None:
-        raw = os.environ.get(WORKERS_ENV_VAR, "")
-        try:
-            n_workers = int(raw) if raw else 1
-        except ValueError as exc:
-            raise ConfigurationError(
-                f"{WORKERS_ENV_VAR}={raw!r} is not an integer"
-            ) from exc
-    if n_workers < 1:
-        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
-    return n_workers
-
-
 def auto_query_chunk(
     n_lanes: int,
     itemsize: int,
@@ -229,20 +243,6 @@ def auto_query_chunk(
     chunk = target_bytes // per_query
     chunk = max(8, min(128, (chunk // 8) * 8))
     return max(1, min(chunk, max(1, n_queries)))
-
-
-def map_partitions(fn, plans, n_workers: int) -> list:
-    """``[fn(i, plan) for i, plan in enumerate(plans)]``, optionally threaded.
-
-    With ``n_workers > 1`` partitions run on a thread pool; results come
-    back in partition order regardless of scheduling, so the output is
-    identical to the inline loop (each partition's computation is
-    independent and pure).
-    """
-    if n_workers <= 1 or len(plans) <= 1:
-        return [fn(i, plan) for i, plan in enumerate(plans)]
-    with ThreadPoolExecutor(max_workers=min(n_workers, len(plans))) as pool:
-        return list(pool.map(fn, range(len(plans)), plans))
 
 
 def run_kernel(request: KernelRequest, kernel: "str | None" = None) -> KernelOutput:

@@ -88,17 +88,38 @@ class GatherKernel(KernelBackend):
     name = "gather"
     fallback = "gather"
 
-    def run(self, request: KernelRequest) -> KernelOutput:
-        def one(_i, plan):
-            return run_plan_gather(
-                request.X,
-                plan,
-                request.accumulate_dtype,
-                request.local_k,
-                request.query_chunk,
-            )
+    def run_partition(
+        self,
+        index,
+        plan,
+        *,
+        X,
+        accumulate_dtype,
+        local_k,
+        query_chunk=None,
+    ):
+        """One partition: ``(results, accepts)`` (the reference computation)."""
+        return run_plan_gather(X, plan, accumulate_dtype, local_k, query_chunk)
 
-        per_partition = map_partitions(one, request.plans, request.n_workers)
+    def run(self, request: KernelRequest) -> KernelOutput:
+        params = {
+            "accumulate_dtype": request.accumulate_dtype,
+            "local_k": request.local_k,
+            "query_chunk": request.query_chunk,
+        }
+
+        def one(i, plan):
+            return self.run_partition(i, plan, X=request.X, **params)
+
+        per_partition = map_partitions(
+            one,
+            request.plans,
+            request.n_workers,
+            executor=request.executor,
+            process_fn=self.run_partition,
+            process_params=params,
+            X=request.X,
+        )
         results = [r for r, _ in per_partition]
         accepts = (
             np.stack([a for _, a in per_partition])

@@ -67,6 +67,48 @@ class BatchScratchpads:
         """Per-query eviction thresholds (−inf while a scratchpad is unfilled)."""
         return np.array(self._worsts)
 
+    def export_state(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Dense ``(vals, rows, accepts)`` snapshot of every scratchpad.
+
+        For kernels that advance the tracker state outside :meth:`fold`
+        (the native sweep): ``vals`` is ``(Q, k)`` float64, ``rows``
+        ``(Q, k)`` int64 (−1 = unfilled), ``accepts`` ``(Q,)`` int64 —
+        freshly allocated, safe to mutate and hand back to
+        :meth:`import_state`.
+        """
+        vals = np.array(self._vals, dtype=np.float64).reshape(
+            self.n_queries, self.local_k
+        )
+        rows = np.array(self._rows, dtype=np.int64).reshape(
+            self.n_queries, self.local_k
+        )
+        return vals, rows, np.array(self._accepts, dtype=np.int64)
+
+    def import_state(
+        self,
+        vals: np.ndarray,
+        rows: np.ndarray,
+        accepts: np.ndarray,
+        seen_rows: int = 0,
+    ) -> None:
+        """Adopt a state advanced outside :meth:`fold`.
+
+        The caller guarantees the state is what sequential
+        :meth:`TopKTracker.insert` operations starting from
+        :meth:`export_state` would have produced — then every invariant
+        (thresholds never decrease, NaN-free slots) still holds.  The
+        fill shortcut is disabled afterwards (per-query fill levels may
+        now differ); the windowed fold path remains exact regardless.
+        ``seen_rows`` advances the window-growth counter by the rows
+        offered or provably skipped — never any result bit.
+        """
+        self._vals = vals.tolist()
+        self._rows = rows.tolist()
+        self._accepts = [int(a) for a in accepts.tolist()]
+        self._worsts = [min(v) for v in self._vals]
+        self._seen += int(seen_rows)
+        self._uniform = False
+
     # ------------------------------------------------------------------ #
     # Folding
     # ------------------------------------------------------------------ #

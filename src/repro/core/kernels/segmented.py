@@ -20,6 +20,13 @@ driver — the property ``tests/property/test_prop_segments.py`` locks.
 
 Per-segment kernel choice (``auto``):
 
+* **native** everywhere, whenever the compiled backend is available
+  (Numba installed, or interpreted mode forced): the same global-fold
+  semantics as streaming below — the scratchpad state is exported dense,
+  advanced by the compiled sweep (per-query screens against the carried
+  thresholds, live rows renumbered to live-matrix ids) and imported back
+  sequential-tracker-exact, so the cross-segment threshold carry-over is
+  preserved bit for bit;
 * **contraction** where the segment's exactness gate passes (fixed-point
   grid × Q1.31 queries × the 2^52 budget — judged by the registered
   backend's own ``supports``): one SciPy SpMM per segment, provably the
@@ -51,6 +58,7 @@ from repro.core.kernels.base import (
     resolve_kernel_name,
 )
 from repro.core.kernels.gather import plan_row_scores
+from repro.core.kernels.native import native_available, sweep_plan_into_pads
 from repro.core.kernels.scratchpad import BatchScratchpads
 from repro.core.kernels.streaming import screen_blocks
 from repro.errors import ConfigurationError
@@ -108,14 +116,21 @@ def select_segment_kernel(
 
     Resolves the requested name exactly like the frozen-collection driver
     (:func:`~repro.core.kernels.base.run_kernel`): an explicit ``gather``/
-    ``streaming`` is honoured as-is; ``contraction`` runs only when the
-    registered backend's exactness gate passes for this segment and query
-    block (falling back to ``gather``, its declared fallback); ``auto``
-    prefers the gated contraction and streams otherwise.
+    ``streaming`` is honoured as-is; an explicit ``native`` runs when the
+    compiled backend is available and otherwise degrades to ``streaming``
+    (its declared fallback); ``contraction`` runs only when the registered
+    backend's exactness gate passes for this segment and query block
+    (falling back to ``gather``, its declared fallback); ``auto`` prefers
+    ``native`` when available, then the gated contraction, and streams
+    otherwise.
     """
     name = resolve_kernel_name(kernel)
+    if name == "native":
+        return "native" if native_available() else "streaming"
     if name in ("gather", "streaming"):
         return name
+    if name != "contraction" and native_available():
+        return "native"
     gate = False
     if artifact.wants_contraction_operand("contraction"):
         request = KernelRequest(
@@ -223,6 +238,28 @@ def _fold_plan_streaming(
     return folded
 
 
+def _fold_plan_native(
+    X, plan, live, pads, accumulate_dtype, first_live, counters
+) -> int:
+    """Compiled fold of one partition plan against the *global* scratchpads.
+
+    Delegates to :func:`~repro.core.kernels.native.sweep_plan_into_pads`:
+    the scratchpad state crosses the dense export/import seam around the
+    sweep, and the per-query screens refine the streaming fold's
+    chunk-consensus skip (each skipped pair individually provably
+    rejected), so the cross-segment threshold carry-over keeps the exact
+    streaming-fold bits.
+    """
+    if plan.n_rows == 0:
+        return 0
+    skipped, n_live = sweep_plan_into_pads(
+        X, plan, pads, accumulate_dtype, live, first_live
+    )
+    counters.total += n_live * X.shape[0]
+    counters.skipped += skipped
+    return n_live
+
+
 def _fold_segment_contraction(
     segment, X, pads, first_live, counters
 ) -> int:
@@ -255,9 +292,12 @@ def _fold_segment(
         counters.stats = counters.stats.merge(plan.stats)
     if kernel_name == "contraction":
         return _fold_segment_contraction(segment, X, pads, first_live, counters)
-    fold_plan = (
-        _fold_plan_streaming if kernel_name == "streaming" else _fold_plan_gather
-    )
+    if kernel_name == "native":
+        fold_plan = _fold_plan_native
+    elif kernel_name == "streaming":
+        fold_plan = _fold_plan_streaming
+    else:
+        fold_plan = _fold_plan_gather
     live = None if segment.all_live else segment.live
     live_cum = segment.live_cumsum()
     plans = artifact.stream_plans()

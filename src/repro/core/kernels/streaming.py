@@ -35,8 +35,6 @@ whole tails of every partition are never read.
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 
 from repro.core.kernels.base import (
@@ -101,95 +99,103 @@ def screen_blocks(
 
 
 class StreamingKernel(KernelBackend):
-    """Fused streaming backend (see module docstring)."""
+    """Fused streaming backend (see module docstring).
+
+    Stateless by design: skip counters ride each run's
+    :class:`KernelOutput` (the PR-5 ``last_skip_fraction`` singleton
+    mirror is gone), so concurrent engines and process workers never
+    observe each other's runs.
+    """
 
     name = "streaming"
     fallback = "gather"
 
-    def __init__(self):
-        self._last_skip_fraction = 0.0
+    def run_partition(
+        self,
+        index,
+        plan,
+        *,
+        X,
+        accumulate_dtype,
+        local_k,
+        query_chunk=None,
+    ):
+        """One partition: ``(results, accepts, skipped, total)``.
 
-    @property
-    def last_skip_fraction(self) -> float:
-        """Deprecated mirror of the most recent run's skip fraction.
-
-        .. deprecated::
-            Read :attr:`KernelOutput.skip_fraction` (or ``skipped_rows`` /
-            ``total_rows``) off the :class:`KernelOutput` returned by the
-            run instead.  This backend is a registered singleton, so
-            concurrent engines or benchmarks observe each other's runs
-            through this mirror — the per-run output has no such race.
+        The skip counters ride the per-partition return value so pool
+        workers (thread or process) never share mutable state — no lost
+        updates at ``n_workers > 1``.
         """
-        warnings.warn(
-            "StreamingKernel.last_skip_fraction is deprecated; read "
-            "skip_fraction off the KernelOutput returned by the run instead",
-            DeprecationWarning,
-            stacklevel=2,
+        acc = np.dtype(accumulate_dtype)
+        n_queries = X.shape[0]
+        if plan.n_rows == 0:
+            return (*BatchScratchpads(n_queries, local_k).finish(), 0, 0)
+        skipped = 0
+        values = plan.kept_values.astype(acc)
+        n_lanes = len(values)
+        starts = plan.starts
+        # Per-row |value| sums (float64) scaled by the provable slack:
+        # any computed row score is <= row_abs[r] * max|x| for its query.
+        seg_ends, blocks, block_peak = screen_blocks(plan, acc)
+
+        chunk = query_chunk or auto_query_chunk(
+            min(n_lanes, _BLOCK_LANE_BUDGET), acc.itemsize, n_queries
         )
-        return self._last_skip_fraction
+        results = [None] * n_queries
+        accepts = np.empty(n_queries, dtype=np.int64)
+        for q0 in range(0, n_queries, chunk):
+            Xc = X[q0 : q0 + chunk].astype(acc)
+            xmax = np.abs(Xc).max(axis=1).astype(np.float64)
+            pads = BatchScratchpads(Xc.shape[0], local_k)
+            for b in range(len(blocks) - 1):
+                r0, r1 = int(blocks[b]), int(blocks[b + 1])
+                bound = block_peak[b] * xmax
+                if np.all(bound < pads.worst_thresholds()):
+                    pads.skip_rows(r1 - r0)
+                    skipped += (r1 - r0) * Xc.shape[0]
+                    continue
+                l0 = int(starts[r0])
+                l1 = int(seg_ends[r1 - 1])
+                products = Xc[:, plan.kept_idx[l0:l1]]
+                products *= values[None, l0:l1]
+                reduced = np.add.reduceat(products, starts[r0:r1] - l0, axis=1)
+                pads.fold(reduced.astype(acc).astype(np.float64), r0)
+            chunk_results, chunk_accepts = pads.finish()
+            results[q0 : q0 + Xc.shape[0]] = chunk_results
+            accepts[q0 : q0 + Xc.shape[0]] = chunk_accepts
+        return results, accepts, skipped, plan.n_rows * n_queries
 
     def run(self, request: KernelRequest) -> KernelOutput:
-        acc = np.dtype(request.accumulate_dtype)
+        params = {
+            "accumulate_dtype": np.dtype(request.accumulate_dtype),
+            "local_k": request.local_k,
+            "query_chunk": request.query_chunk,
+        }
 
-        def one(_i, plan):
-            # Returns (results, accepts, skipped, total): the skip counters
-            # ride the per-partition return value so thread-pool workers
-            # never share mutable state (no lost updates at n_workers > 1).
-            n_queries = request.n_queries
-            if plan.n_rows == 0:
-                return (*BatchScratchpads(n_queries, request.local_k).finish(), 0, 0)
-            skipped = 0
-            values = plan.kept_values.astype(acc)
-            n_lanes = len(values)
-            starts = plan.starts
-            # Per-row |value| sums (float64) scaled by the provable slack:
-            # any computed row score is <= row_abs[r] * max|x| for its query.
-            seg_ends, blocks, block_peak = screen_blocks(plan, acc)
+        def one(i, plan):
+            return self.run_partition(i, plan, X=request.X, **params)
 
-            chunk = request.query_chunk or auto_query_chunk(
-                min(n_lanes, _BLOCK_LANE_BUDGET), acc.itemsize, n_queries
-            )
-            results = [None] * n_queries
-            accepts = np.empty(n_queries, dtype=np.int64)
-            for q0 in range(0, n_queries, chunk):
-                Xc = request.X[q0 : q0 + chunk].astype(acc)
-                xmax = np.abs(Xc).max(axis=1).astype(np.float64)
-                pads = BatchScratchpads(Xc.shape[0], request.local_k)
-                for b in range(len(blocks) - 1):
-                    r0, r1 = int(blocks[b]), int(blocks[b + 1])
-                    bound = block_peak[b] * xmax
-                    if np.all(bound < pads.worst_thresholds()):
-                        pads.skip_rows(r1 - r0)
-                        skipped += (r1 - r0) * Xc.shape[0]
-                        continue
-                    l0 = int(starts[r0])
-                    l1 = int(seg_ends[r1 - 1])
-                    products = Xc[:, plan.kept_idx[l0:l1]]
-                    products *= values[None, l0:l1]
-                    reduced = np.add.reduceat(products, starts[r0:r1] - l0, axis=1)
-                    pads.fold(reduced.astype(acc).astype(np.float64), r0)
-                chunk_results, chunk_accepts = pads.finish()
-                results[q0 : q0 + Xc.shape[0]] = chunk_results
-                accepts[q0 : q0 + Xc.shape[0]] = chunk_accepts
-            return results, accepts, skipped, plan.n_rows * n_queries
-
-        per_partition = map_partitions(one, request.plans, request.n_workers)
-        skipped_rows = sum(p[2] for p in per_partition)
-        total_rows = sum(p[3] for p in per_partition)
+        per_partition = map_partitions(
+            one,
+            request.plans,
+            request.n_workers,
+            executor=request.executor,
+            process_fn=self.run_partition,
+            process_params=params,
+            X=request.X,
+        )
         results = [p[0] for p in per_partition]
         accepts = (
             np.stack([p[1] for p in per_partition])
             if per_partition
             else np.zeros((0, request.n_queries), dtype=np.int64)
         )
-        output = KernelOutput(
+        return KernelOutput(
             results=results,
             accepts=accepts,
-            skipped_rows=skipped_rows,
-            total_rows=total_rows,
+            skipped_rows=sum(p[2] for p in per_partition),
+            total_rows=sum(p[3] for p in per_partition),
         )
-        self._last_skip_fraction = output.skip_fraction
-        return output
 
 
 register_kernel(StreamingKernel())

@@ -167,7 +167,8 @@ class ShardedEngine(MutableEngineMixin):
         uram: URAMSpec = ALVEO_U280_URAM,
         constants: CalibrationConstants = CALIBRATION,
         kernel: "str | None" = None,
-        kernel_workers: "int | None" = None,
+        kernel_workers: "int | str | None" = None,
+        kernel_executor: "str | None" = None,
     ):
         """Shard a collection across ``n_shards`` boards.
 
@@ -188,16 +189,19 @@ class ShardedEngine(MutableEngineMixin):
         cores_per_shard:
             ``None`` selects aligned mode (see module docstring); an integer
             gives every shard its own full board with that many cores.
-        kernel, kernel_workers:
-            Batch-query kernel backend and partition-thread count for every
-            shard (see :mod:`repro.core.kernels`); bit-neutral performance
-            knobs, ``None`` defers to ``$REPRO_KERNEL`` /
-            ``$REPRO_KERNEL_WORKERS``.
+        kernel, kernel_workers, kernel_executor:
+            Batch-query kernel backend, partition worker count
+            (``"auto"``/``0`` = all cores) and partition executor
+            (``thread``/``process``) for every shard (see
+            :mod:`repro.core.kernels`); bit-neutral performance knobs,
+            ``None`` defers to ``$REPRO_KERNEL`` /
+            ``$REPRO_KERNEL_WORKERS`` / ``$REPRO_KERNEL_EXECUTOR``.
         """
         self.n_shards = check_positive_int(n_shards, "n_shards")
         self.constants = constants
         self.kernel = kernel
         self.kernel_workers = kernel_workers
+        self.kernel_executor = kernel_executor
         self.cores_per_shard = (
             None
             if cores_per_shard is None
@@ -496,6 +500,7 @@ class ShardedEngine(MutableEngineMixin):
                 kernel=self.kernel,
                 n_workers=self.kernel_workers,
                 operand=shard.contraction_operand() if pass_operand else None,
+                executor=self.kernel_executor,
             )
             for q in range(n_queries):
                 per_query[q].extend(local[q])

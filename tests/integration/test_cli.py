@@ -83,7 +83,7 @@ class TestKernelFlag:
             "--json", str(target),
         ]) == 0
         out = capsys.readouterr().out
-        assert "kernel: contraction, 2 worker(s)" in out
+        assert "kernel: contraction, 2 thread worker(s)" in out
         payload = json.loads(target.read_text())
         assert payload["config"]["kernel"] == "contraction"
         assert payload["config"]["kernel_workers"] == 2

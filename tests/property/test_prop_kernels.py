@@ -16,6 +16,8 @@ exactly what these properties assert, since they never special-case the
 backend).
 """
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -29,14 +31,39 @@ from repro.core.dataflow import (
     simulate_multicore_batch,
 )
 from repro.core.kernels import available_kernels, lower_plans
+from repro.core.kernels.native import HAVE_NUMBA, INTERPRET_ENV_VAR
 from repro.formats.bscsr import BSCSRMatrix
 from repro.formats.csr import CSRMatrix
 from repro.formats.layout import solve_layout
 
 #: The built-in backends (test stubs may join the registry mid-session, so
 #: the suite pins the set it certifies and asserts they are all present).
-KERNELS = ["gather", "streaming", "contraction", "auto"]
+KERNELS = ["gather", "streaming", "contraction", "native", "auto"]
 assert set(KERNELS) <= set(available_kernels())
+
+#: Both partition executors must be bit-neutral.
+EXECUTORS = ["thread", "process"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _native_loops_available():
+    """Certify the native loop *semantics* even where Numba is absent.
+
+    Without Numba the backend would silently fall back to streaming and
+    these properties would lock nothing new; forcing interpreted mode runs
+    the identical loop bodies, so the bits proven here are the bits the
+    compiled functions produce (same Python source, Numba's float
+    semantics are IEEE).  Scoped to this module so the rest of the session
+    keeps real-world availability.
+    """
+    if HAVE_NUMBA:
+        yield
+        return
+    os.environ[INTERPRET_ENV_VAR] = "1"
+    try:
+        yield
+    finally:
+        os.environ.pop(INTERPRET_ENV_VAR, None)
 
 
 @st.composite
@@ -189,11 +216,14 @@ class TestKernelOptionsAreBitNeutral:
         matrix=sparse_matrices(max_rows=35),
         data=st.data(),
         kernel=st.sampled_from(KERNELS),
+        executor=st.sampled_from(EXECUTORS),
         n_workers=st.integers(2, 4),
         query_chunk=st.integers(1, 7),
     )
     @settings(max_examples=25, deadline=None)
-    def test_workers_and_chunk(self, matrix, data, kernel, n_workers, query_chunk):
+    def test_workers_and_chunk(
+        self, matrix, data, kernel, executor, n_workers, query_chunk
+    ):
         codec = codec_for_design(20, "fixed")
         layout = solve_layout(matrix.n_cols, 20)
         encoded = BSCSRMatrix.encode(
@@ -214,6 +244,7 @@ class TestKernelOptionsAreBitNeutral:
             n_workers=n_workers,
             operand=operand,
             query_chunk=query_chunk,
+            executor=executor,
         )
         assert stats == base_stats
         for got_q, want_q in zip(results, base_results):

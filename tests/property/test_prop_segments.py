@@ -15,6 +15,8 @@ equivalent final matrix, so the collection's own bookkeeping is verified
 too, not just used.
 """
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -22,11 +24,28 @@ from hypothesis import strategies as st
 
 from repro.core.collection import compile_collection
 from repro.core.kernels import run_segmented
+from repro.core.kernels.native import HAVE_NUMBA, INTERPRET_ENV_VAR
 from repro.core.segments import SegmentedCollection
 from repro.formats.csr import CSRMatrix
 from repro.hw.design import AcceleratorDesign
 
-KERNELS = ["auto", "gather", "streaming", "contraction"]
+KERNELS = ["auto", "gather", "streaming", "contraction", "native"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _native_loops_available():
+    """Run the native backend interpreted where Numba is absent, so the
+    segmented driver's native fold (cross-segment threshold carry-over
+    included) is certified by this suite everywhere — same loop bodies,
+    same bits as the compiled functions."""
+    if HAVE_NUMBA:
+        yield
+        return
+    os.environ[INTERPRET_ENV_VAR] = "1"
+    try:
+        yield
+    finally:
+        os.environ.pop(INTERPRET_ENV_VAR, None)
 
 #: Small design points covering every codec family (cores kept low so tiny
 #: collections still exercise multi-row partitions).

@@ -49,7 +49,7 @@ def tiny_matrix():
 class TestRegistry:
     def test_builtin_backends_registered(self):
         names = available_kernels()
-        for expected in ("gather", "streaming", "contraction", "auto"):
+        for expected in ("gather", "streaming", "contraction", "native", "auto"):
             assert expected in names
 
     def test_unknown_kernel_rejected(self):
@@ -83,10 +83,22 @@ class TestRegistry:
         monkeypatch.setenv("REPRO_KERNEL_WORKERS", "4")
         assert resolve_workers() == 4
         monkeypatch.setenv("REPRO_KERNEL_WORKERS", "zero")
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError, match="not an integer"):
             resolve_workers()
-        with pytest.raises(ConfigurationError):
-            resolve_workers(0)
+        with pytest.raises(ConfigurationError, match="must be >= 1"):
+            resolve_workers(-2)
+
+    def test_resolve_workers_auto_means_all_cores(self, monkeypatch):
+        import os as _os
+
+        cores = _os.cpu_count() or 1
+        monkeypatch.delenv("REPRO_KERNEL_WORKERS", raising=False)
+        assert resolve_workers("auto") == cores
+        assert resolve_workers(0) == cores
+        monkeypatch.setenv("REPRO_KERNEL_WORKERS", "auto")
+        assert resolve_workers() == cores
+        monkeypatch.setenv("REPRO_KERNEL_WORKERS", "0")
+        assert resolve_workers() == cores
 
 
 class TestAutoQueryChunk:
@@ -306,14 +318,23 @@ class TestStreamingSkip:
         want, want_stats = simulate_multicore_batch(
             encoded, X, local_k=4, kernel="gather"
         )
-        backend = get_kernel("streaming")
         got, got_stats = simulate_multicore_batch(
             encoded, X, local_k=4, kernel="streaming"
         )
-        # The mirror still works for single-consumer code but is deprecated
-        # in favour of the per-run KernelOutput stats.
-        with pytest.warns(DeprecationWarning, match="last_skip_fraction"):
-            assert backend.last_skip_fraction > 0.5
+        # Skip accounting rides the per-run KernelOutput only; the PR-5
+        # last_skip_fraction singleton mirror is gone (the backend must
+        # stay stateless for process workers and concurrent engines).
+        backend = get_kernel("streaming")
+        assert not hasattr(backend, "last_skip_fraction")
+        out = backend.run(
+            KernelRequest(
+                X=X,
+                plans=tuple(plan_stream(s) for s in encoded.streams),
+                accumulate_dtype=np.dtype(np.float64),
+                local_k=4,
+            )
+        )
+        assert out.skip_fraction > 0.5
         assert got_stats == want_stats
         for gq, wq in zip(got, want):
             for g, w in zip(gq, wq):
@@ -352,10 +373,10 @@ class TestStreamingSkip:
         assert out.total_rows == n_rows * X.shape[0]
         assert 0 < out.skipped_rows <= out.total_rows
         assert out.skip_fraction > 0.5
-        # The singleton mirror reflects this (latest) run even when the
-        # partitions ran on a thread pool — deprecated, but still coherent.
-        with pytest.warns(DeprecationWarning, match="last_skip_fraction"):
-            assert backend.last_skip_fraction == out.skip_fraction
+        # Regression: the deprecated singleton mirror must stay gone — a
+        # reintroduction would be shared mutable state across pool workers.
+        assert not hasattr(backend, "last_skip_fraction")
+        assert not hasattr(backend, "_last_skip_fraction")
         inline = backend.run(
             KernelRequest(
                 X=X,
@@ -459,7 +480,9 @@ class TestGlobalisationAliasing:
 class TestEngineAndShardedKernelThreading:
     """kernel=/kernel_workers= reach the engines and stay bit-neutral."""
 
-    @pytest.mark.parametrize("kernel", ["gather", "streaming", "contraction", "auto"])
+    @pytest.mark.parametrize(
+        "kernel", ["gather", "streaming", "contraction", "native", "auto"]
+    )
     def test_engine_query_batch_matches_across_kernels(self, tiny_matrix, kernel):
         from repro.core.engine import TopKSpmvEngine
 
@@ -490,7 +513,7 @@ class TestEngineAndShardedKernelThreading:
             cores_per_shard=cores_per_shard,
             kernel="gather",
         ).query_batch(X, top_k=6)
-        for kernel in ("streaming", "contraction", "auto"):
+        for kernel in ("streaming", "contraction", "native", "auto"):
             got = ShardedEngine(
                 collection,
                 n_shards=2,
