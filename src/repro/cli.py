@@ -194,6 +194,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout-s", type=float, default=120.0,
         help="load-gen: overall client timeout in seconds (default 120)",
     )
+    faults = parser.add_argument_group(
+        "fault tolerance options (serve-live; see README)"
+    )
+    faults.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="max re-dispatch attempts per request after a replica failure "
+        "(default: the library default, 2)",
+    )
+    faults.add_argument(
+        "--backoff-ms", type=float, default=None, metavar="MS",
+        help="base of the seeded exponential retry backoff in ms "
+        "(default: the library default, 1.0)",
+    )
+    faults.add_argument(
+        "--hedge-after-ms", type=float, default=None, metavar="MS",
+        help="duplicate a request onto a second replica when its first "
+        "dispatch has waited this long (default: hedging off)",
+    )
+    faults.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request wall deadline; past it the client gets a typed "
+        "'deadline' error frame (default: none)",
+    )
+    faults.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="load-shed admission bound on queued + in-flight requests "
+        "(default: unbounded)",
+    )
+    faults.add_argument(
+        "--max-frame-bytes", type=int, default=None, metavar="N",
+        help="tighten the per-frame wire cap below the protocol-wide limit "
+        "(default: the protocol cap)",
+    )
+    faults.add_argument(
+        "--fault-plan", type=str, default=None, metavar="PATH",
+        help="replay a seeded fault-injection plan (JSON written by "
+        "FaultPlan.to_json or benchmarks/bench_chaos.py) against the "
+        "serving tier",
+    )
+    faults.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="SEED",
+        help="generate a seeded FaultPlan (crashes + slow windows) instead "
+        "of loading one from --fault-plan",
+    )
     bench_all = parser.add_argument_group("bench-all options")
     bench_all.add_argument(
         "--only", type=str, default=None, metavar="SUBSTRING",
@@ -311,6 +355,50 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_options(args: argparse.Namespace):
+    """(fault_plan, resilience) from the CLI fault-tolerance flags."""
+    from repro.serving.faults import FaultPlan, ResilienceConfig
+
+    if args.fault_plan is not None and args.chaos_seed is not None:
+        raise SystemExit("--fault-plan and --chaos-seed are mutually exclusive")
+    plan = None
+    if args.fault_plan is not None:
+        with open(args.fault_plan, "r", encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+    elif args.chaos_seed is not None:
+        # A virtual-time horizon wide enough to cover any realistic stream;
+        # deterministic in the seed, so a chaos run is replayable by flag.
+        plan = FaultPlan.generate(
+            seed=args.chaos_seed,
+            n_replicas=args.replicas,
+            horizon_s=max(1.0, args.n_queries / (args.rate_qps or 200.0)),
+        )
+    defaults = ResilienceConfig()
+    resilience = None
+    if (
+        args.retries is not None
+        or args.backoff_ms is not None
+        or args.hedge_after_ms is not None
+        or plan is not None
+    ):
+        resilience = ResilienceConfig(
+            max_retries=(
+                defaults.max_retries if args.retries is None else args.retries
+            ),
+            backoff_base_s=(
+                defaults.backoff_base_s
+                if args.backoff_ms is None
+                else args.backoff_ms * 1e-3
+            ),
+            hedge_after_s=(
+                None if args.hedge_after_ms is None
+                else args.hedge_after_ms * 1e-3
+            ),
+            seed=args.seed if args.seed is not None else 0,
+        )
+    return plan, resilience
+
+
 def _build_live_runtime(args: argparse.Namespace):
     """One configured ClusterRuntime for serve-live (bench-config reuse)."""
     from repro.serving.bench import _build_collection
@@ -318,6 +406,7 @@ def _build_live_runtime(args: argparse.Namespace):
     from repro.serving.sharded import ShardedEngine
 
     config = _serve_bench_config(args)
+    fault_plan, resilience = _fault_options(args)
     compiled, _design_name = _build_collection(config)
     replicas = [
         ShardedEngine(
@@ -338,6 +427,8 @@ def _build_live_runtime(args: argparse.Namespace):
         max_wait_s=config.max_wait_ms * 1e-3,
         queue_capacity=config.queue_capacity,
         router_seed=config.seed,
+        fault_plan=fault_plan,
+        resilience=resilience,
     )
 
 
@@ -349,12 +440,25 @@ def _run_serve_live(args: argparse.Namespace) -> int:
     from repro.serving.live import LiveServer
 
     runtime = _build_live_runtime(args)
+    if runtime.fault_plan is not None and not runtime.fault_plan.is_empty:
+        plan = runtime.fault_plan
+        print(
+            f"fault injection active: {len(plan.crashes)} crash(es), "
+            f"{len(plan.slow)} slow window(s), "
+            f"{len(plan.engine_faults)} engine fault(s) [seed {plan.seed}]",
+            file=sys.stderr,
+        )
     server = LiveServer(
         runtime,
         top_k=args.top_k,
         host=args.host,
         port=args.port if args.port is not None else 0,
         warmup=True,
+        deadline_s=(
+            None if args.deadline_ms is None else args.deadline_ms * 1e-3
+        ),
+        max_pending=args.max_pending,
+        max_frame_bytes=args.max_frame_bytes,
     )
 
     async def runner() -> None:

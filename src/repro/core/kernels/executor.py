@@ -35,7 +35,10 @@ from __future__ import annotations
 
 import atexit
 import os
+import warnings
+import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
@@ -174,6 +177,23 @@ class SharedPlanArena:
             "X": x_meta,
             "plans": plan_metas,
         }
+        # Crash-safe reclamation: the segment is unlinked even when the
+        # owning sweep dies before reaching close() — at garbage collection
+        # or interpreter exit, whichever comes first — so no ``/dev/shm``
+        # entry ever outlives the parent.
+        self._finalizer = weakref.finalize(self, self._reclaim, self.shm)
+
+    @staticmethod
+    def _reclaim(shm) -> None:
+        """Finalizer body: close the mapping and unlink the segment."""
+        try:
+            shm.close()
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - gone
+            pass
 
     @staticmethod
     def _view(shm, meta) -> np.ndarray:
@@ -202,12 +222,11 @@ class SharedPlanArena:
         return shm, X, plan
 
     def close(self, unlink: bool = False) -> None:
-        self.shm.close()
         if unlink:
-            try:
-                self.shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+            # Runs the registered finalizer (at most once): close + unlink.
+            self._finalizer()
+        else:
+            self.shm.close()
 
 
 # --------------------------------------------------------------------- #
@@ -263,27 +282,52 @@ def _run_partition_from_arena(descriptor, process_fn, params, index):
         shm.close()
 
 
-def _map_partitions_process(process_fn, params, X, plans, n_workers) -> list:
+#: Sentinel returned by :func:`_map_partitions_process` when the pool broke
+#: twice in a row — the caller degrades to the thread executor.
+_DEGRADE = object()
+
+
+def _map_partitions_process(process_fn, params, X, plans, n_workers):
     arena = SharedPlanArena(X, plans)
     try:
-        pool = _process_pool(min(n_workers, len(plans)))
-        futures = [
-            pool.submit(_run_partition_from_arena, arena.descriptor, process_fn, params, i)
-            for i in range(len(plans))
-        ]
-        # Drain *every* future before the arena is unlinked (a straggler
-        # must never race an attach against the unlink), then surface the
-        # first failure with its original exception object.
-        results, first_exc = [], None
-        for future in futures:
-            try:
-                results.append(future.result())
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                if first_exc is None:
-                    first_exc = exc
-        if first_exc is not None:
-            raise first_exc
-        return results
+        # A dead worker (OOM-kill, segfault, os._exit) poisons the whole
+        # pool as BrokenProcessPool.  Partition work is pure and the arena
+        # outlives the attempt, so the safe response is: respawn the pool
+        # once and resubmit everything; if the fresh pool breaks too, hand
+        # control back so the caller degrades to threads.
+        for attempt in range(2):
+            pool = _process_pool(min(n_workers, len(plans)))
+            futures = [
+                pool.submit(_run_partition_from_arena, arena.descriptor, process_fn, params, i)
+                for i in range(len(plans))
+            ]
+            # Drain *every* future before the arena is unlinked (a
+            # straggler must never race an attach against the unlink),
+            # then surface the first failure with its original exception.
+            results, first_exc, broken = [], None, False
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except BrokenProcessPool:
+                    broken = True
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if first_exc is None:
+                        first_exc = exc
+            if broken:
+                _shutdown_pool()
+                if attempt == 0:
+                    warnings.warn(
+                        "a partition worker died; respawning the process "
+                        "pool and resubmitting the sweep",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    continue
+                return _DEGRADE
+            if first_exc is not None:
+                raise first_exc
+            return results
+        return _DEGRADE  # pragma: no cover - loop always returns
     finally:
         arena.close(unlink=True)
 
@@ -312,8 +356,17 @@ def map_partitions(
     if n_workers <= 1 or len(plans) <= 1:
         return [fn(i, plan) for i, plan in enumerate(plans)]
     if executor == "process" and process_fn is not None and X is not None:
-        return _map_partitions_process(
+        results = _map_partitions_process(
             process_fn, dict(process_params or {}), X, plans, n_workers
+        )
+        if results is not _DEGRADE:
+            return results
+        warnings.warn(
+            "the respawned process pool broke again; degrading this sweep "
+            "to the thread executor (results are bit-identical, only "
+            "slower)",
+            RuntimeWarning,
+            stacklevel=2,
         )
     with ThreadPoolExecutor(max_workers=min(n_workers, len(plans))) as pool:
         return list(pool.map(fn, range(len(plans)), plans))

@@ -22,12 +22,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import zipfile
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
 
 from repro.arithmetic.codecs import codec_from_name
-from repro.errors import FormatError
+from repro.errors import FormatError, ReproError
 from repro.formats.bscsr import BSCSRMatrix, BSCSRStream
 from repro.formats.csr import CSRMatrix
 from repro.formats.layout import PacketLayout
@@ -63,6 +66,30 @@ _READABLE_VERSIONS = (1, 2)
 _HEADER_KEY = "header"
 
 
+@contextmanager
+def _corruption_as_format_error(path: "str | Path", what: str):
+    """Surface low-level container decode failures as typed errors.
+
+    ``np.load`` over a truncated, bit-flipped or otherwise damaged ``.npz``
+    leaks whatever its zip/npy internals hit first — ``BadZipFile``,
+    ``OSError``, ``EOFError``, ``ValueError``, ``KeyError`` — none of which
+    name the file or say "your artifact is broken".  Every loader wraps its
+    archive access in this guard so callers always see one typed
+    :class:`FormatError` naming the bad file; library errors (already
+    typed) pass through untouched.
+    """
+    try:
+        yield
+    except ReproError:
+        raise
+    except FileNotFoundError as exc:
+        raise FormatError(f"{path} does not exist") from exc
+    except (zipfile.BadZipFile, OSError, EOFError, ValueError, KeyError) as exc:
+        raise FormatError(
+            f"{path} is not a readable {what} (corrupt or truncated): {exc}"
+        ) from exc
+
+
 def artifact_digest(arrays: "dict[str, np.ndarray]") -> str:
     """SHA-256 content digest of a named buffer set.
 
@@ -96,6 +123,12 @@ def save_artifact(
     cost.  The file lands at exactly ``path`` — an open handle is passed to
     ``np.savez`` so it cannot append ``.npz`` behind the caller's back.
 
+    The write is **crash-safe**: bytes go to a ``<path>.tmp`` sibling which
+    is fsynced and then atomically renamed over ``path``, so a process kill
+    mid-save leaves either the old artifact or the new one, never a torn
+    file.  The stray ``.tmp`` from an interrupted save is removed on error
+    and overwritten by the next save.
+
     ``aux_arrays`` are *derived* buffers (caches lowered from the primary
     ones, e.g. a compiled collection's contraction operand): they are
     persisted and integrity-checked under their own ``aux_digest``, but
@@ -120,66 +153,99 @@ def save_artifact(
     if aux_arrays:
         full_header["aux"] = sorted(aux_arrays)
         full_header["aux_digest"] = artifact_digest(aux_arrays)
-    with open(path, "wb") as handle:
-        np.savez(
-            handle,
-            **{_HEADER_KEY: np.array(json.dumps(full_header))},
-            **arrays,
-            **aux_arrays,
-        )
+    path = Path(path)
+    tmp_path = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp_path, "wb") as handle:
+            np.savez(
+                handle,
+                **{_HEADER_KEY: np.array(json.dumps(full_header))},
+                **arrays,
+                **aux_arrays,
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        tmp_path.unlink(missing_ok=True)
+        raise
     return digest
 
 
 def load_artifact(
-    path: "str | Path", kind: str, verify: bool = True
+    path: "str | Path", kind: str, verify: bool = True, quarantine: bool = False
 ) -> "tuple[dict, dict[str, np.ndarray]]":
     """Load an artifact stored by :func:`save_artifact`; returns (header, arrays).
 
-    Raises :class:`FormatError` when the file has no header, declares a
-    different ``kind`` or version, or (with ``verify=True``) when the stored
-    digest does not match the loaded buffers.  Auxiliary (derived) buffers
-    declared in the header's ``aux`` list are returned together with the
-    primary ones but verified against ``aux_digest`` instead of ``digest``
-    (see :func:`save_artifact`).
+    Raises :class:`FormatError` when the file is unreadable (truncated or
+    bit-flipped containers surface as typed errors naming the file, never
+    raw zip/numpy exceptions), has no header, declares a different ``kind``
+    or version, or (with ``verify=True``) when the stored digest does not
+    match the loaded buffers.  Auxiliary (derived) buffers declared in the
+    header's ``aux`` list are returned together with the primary ones but
+    verified against ``aux_digest`` instead of ``digest`` (see
+    :func:`save_artifact`).
+
+    With ``quarantine=True`` a file that fails to load is renamed to
+    ``<path>.quarantined`` before the error propagates, so a serving tier
+    restarting in a crash loop sets the bad artifact aside (for forensics)
+    instead of tripping over it on every boot; the raised error still names
+    the original path.
     """
-    with np.load(path, allow_pickle=False) as archive:
-        if _HEADER_KEY not in archive:
-            raise FormatError(f"{path} has no artifact header")
-        try:
-            header = json.loads(str(archive[_HEADER_KEY]))
-        except json.JSONDecodeError as exc:
-            raise FormatError(f"{path} has a malformed artifact header") from exc
-        if not isinstance(header, dict):
-            raise FormatError(f"{path} has a malformed artifact header")
-        if header.get("kind") != kind:
-            raise FormatError(
-                f"{path} holds {header.get('kind')!r}, expected {kind!r}"
-            )
-        if header.get("version") not in _READABLE_VERSIONS:
-            raise FormatError(
-                f"{path} has artifact version {header.get('version')!r}, "
-                f"this build reads versions {list(_READABLE_VERSIONS)}"
-            )
-        arrays = {name: archive[name] for name in archive.files if name != _HEADER_KEY}
-    aux_names = set(header.get("aux", []))
-    if verify:
-        primary = {k: v for k, v in arrays.items() if k not in aux_names}
-        digest = artifact_digest(primary)
-        if digest != header.get("digest"):
-            raise FormatError(
-                f"{path} failed its content-digest check "
-                f"(stored {header.get('digest')!r}, computed {digest!r}); "
-                "the artifact is corrupted or was edited by hand"
-            )
-        if aux_names:
-            aux = {k: v for k, v in arrays.items() if k in aux_names}
-            aux_digest = artifact_digest(aux)
-            if aux_digest != header.get("aux_digest"):
+    try:
+        with _corruption_as_format_error(path, "artifact container"):
+            with np.load(path, allow_pickle=False) as archive:
+                if _HEADER_KEY not in archive:
+                    raise FormatError(f"{path} has no artifact header")
+                try:
+                    header = json.loads(str(archive[_HEADER_KEY]))
+                except json.JSONDecodeError as exc:
+                    raise FormatError(
+                        f"{path} has a malformed artifact header"
+                    ) from exc
+                if not isinstance(header, dict):
+                    raise FormatError(f"{path} has a malformed artifact header")
+                if header.get("kind") != kind:
+                    raise FormatError(
+                        f"{path} holds {header.get('kind')!r}, expected {kind!r}"
+                    )
+                if header.get("version") not in _READABLE_VERSIONS:
+                    raise FormatError(
+                        f"{path} has artifact version {header.get('version')!r}, "
+                        f"this build reads versions {list(_READABLE_VERSIONS)}"
+                    )
+                arrays = {
+                    name: archive[name]
+                    for name in archive.files
+                    if name != _HEADER_KEY
+                }
+        aux_names = set(header.get("aux", []))
+        if verify:
+            primary = {k: v for k, v in arrays.items() if k not in aux_names}
+            digest = artifact_digest(primary)
+            if digest != header.get("digest"):
                 raise FormatError(
-                    f"{path} failed its aux-digest check "
-                    f"(stored {header.get('aux_digest')!r}, computed "
-                    f"{aux_digest!r}); the derived buffers are corrupted"
+                    f"{path} failed its content-digest check "
+                    f"(stored {header.get('digest')!r}, computed {digest!r}); "
+                    "the artifact is corrupted or was edited by hand"
                 )
+            if aux_names:
+                aux = {k: v for k, v in arrays.items() if k in aux_names}
+                aux_digest = artifact_digest(aux)
+                if aux_digest != header.get("aux_digest"):
+                    raise FormatError(
+                        f"{path} failed its aux-digest check "
+                        f"(stored {header.get('aux_digest')!r}, computed "
+                        f"{aux_digest!r}); the derived buffers are corrupted"
+                    )
+    except FormatError:
+        if quarantine:
+            src = Path(path)
+            try:
+                os.replace(src, src.with_name(src.name + ".quarantined"))
+            except OSError:
+                pass  # the load error matters more than the rename
+        raise
     return header, arrays
 
 
@@ -312,7 +378,9 @@ def save_csr(path: "str | Path", matrix: CSRMatrix) -> None:
 
 def load_csr(path: "str | Path") -> CSRMatrix:
     """Load a CSR matrix stored by :func:`save_csr`."""
-    with np.load(path, allow_pickle=False) as archive:
+    with _corruption_as_format_error(path, "CSR container"), np.load(
+        path, allow_pickle=False
+    ) as archive:
         _check_kind(archive, "csr", path)
         return CSRMatrix(
             indptr=archive["indptr"],
@@ -359,7 +427,9 @@ def save_stream(path: "str | Path", stream: BSCSRStream) -> None:
 
 def load_stream(path: "str | Path") -> BSCSRStream:
     """Load a stream stored by :func:`save_stream` (validated on load)."""
-    with np.load(path, allow_pickle=False) as archive:
+    with _corruption_as_format_error(path, "BS-CSR stream container"), np.load(
+        path, allow_pickle=False
+    ) as archive:
         _check_kind(archive, "bscsr-stream", path)
         layout = PacketLayout(**json.loads(str(archive["layout"])))
         stream = BSCSRStream(
@@ -409,7 +479,9 @@ def save_bscsr_matrix(path: "str | Path", matrix: BSCSRMatrix) -> None:
 
 def load_bscsr_matrix(path: "str | Path") -> BSCSRMatrix:
     """Load a partitioned matrix stored by :func:`save_bscsr_matrix`."""
-    with np.load(path, allow_pickle=False) as archive:
+    with _corruption_as_format_error(path, "BS-CSR matrix container"), np.load(
+        path, allow_pickle=False
+    ) as archive:
         _check_kind(archive, "bscsr-matrix", path)
         streams = []
         for i in range(int(archive["n_partitions"])):

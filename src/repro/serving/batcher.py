@@ -202,6 +202,16 @@ class BatchQueue:
             )
         return dispatch, members
 
+    def drain(self) -> "list[tuple[int, float]]":
+        """Empty the queue, returning every waiting ``(id, arrival)``.
+
+        The failover path: a crashed replica's waiting room is drained at
+        the crash instant so its requests can be requeued elsewhere.
+        """
+        members = list(self._pending)
+        self._pending.clear()
+        return members
+
 
 @dataclass(frozen=True)
 class ServingReport:

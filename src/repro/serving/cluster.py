@@ -46,8 +46,10 @@ from repro.errors import ConfigurationError, FormatError
 from repro.formats.io import load_artifact
 from repro.serving.batcher import ServingReport
 from repro.serving.cache import QueryCache, collection_version
+from repro.serving.faults import FaultPlan, ResilienceConfig
 from repro.serving.policy import (
     CACHE_HIT,
+    FAILED,
     REJECTED,
     SERVED,
     ClusterPolicy,
@@ -62,8 +64,11 @@ __all__ = ["RequestTrace", "ClusterReport", "ClusterRuntime"]
 #: from the base report's so a round trip can never drop the cluster tier).
 CLUSTER_REPORT_KIND = "cluster-report"
 
-_STATUS_CODES = {SERVED: 0, CACHE_HIT: 1, REJECTED: 2}
+_STATUS_CODES = {SERVED: 0, CACHE_HIT: 1, REJECTED: 2, FAILED: 3}
 _STATUS_NAMES = {code: name for name, code in _STATUS_CODES.items()}
+
+#: Trace statuses that carry no dispatch/completion/latency stamps.
+_UNTIMED_CODES = frozenset({_STATUS_CODES[REJECTED], _STATUS_CODES[FAILED]})
 
 
 @dataclass(frozen=True)
@@ -82,6 +87,10 @@ class ClusterReport(ServingReport):
     n_cache_hits: int = 0
     cache_stats: "dict | None" = None
     trace: "tuple[RequestTrace, ...]" = ()
+    #: Fault/recovery counters (``None`` for a clean, fault-free run) —
+    #: batch failures, retries, rescued/failed requests, hedges, crashes
+    #: and the final per-replica health states.
+    fault_stats: "dict | None" = None
 
     @property
     def n_replicas(self) -> int:
@@ -95,6 +104,13 @@ class ClusterReport(ServingReport):
     @property
     def n_rejected(self) -> int:
         return sum(self.rejected_per_replica)
+
+    @property
+    def n_failed(self) -> int:
+        """Requests typed-failed after exhausting their retry budget."""
+        return sum(
+            1 for t in self.trace if t.status == FAILED
+        )
 
     @property
     def n_served(self) -> int:
@@ -138,6 +154,8 @@ class ClusterReport(ServingReport):
             "n_cache_hits": self.n_cache_hits,
             "cache_hit_rate": self.cache_hit_rate,
             "cache": self.cache_stats,
+            "n_failed": self.n_failed,
+            "faults": self.fault_stats,
             "replicas": replicas,
         }
         return payload
@@ -166,6 +184,14 @@ class ClusterReport(ServingReport):
                 f"{self.cache_stats['entries']}/{self.cache_stats['capacity']} "
                 f"entries, {self.cache_stats['evictions']} evictions"
             )
+        if self.fault_stats is not None:
+            fs = self.fault_stats
+            lines.append(
+                f"faults: {fs['n_batch_failures']} batch failures | "
+                f"{fs['n_crashes']} crashes | {fs['n_retries']} retries "
+                f"({fs['n_rescued']} rescued, {fs['n_failed']} failed) | "
+                f"{fs['n_hedges']} hedges ({fs['n_hedge_wasted']} wasted)"
+            )
         return "\n".join(lines)
 
     # ------------------------------------------------------------------ #
@@ -181,6 +207,7 @@ class ClusterReport(ServingReport):
         # JSON round-trips Python floats exactly (shortest-repr), so the
         # cache counters stay bit-identical through the header.
         header["cache_stats"] = self.cache_stats
+        header["fault_stats"] = self.fault_stats
         return header
 
     def _payload_arrays(self) -> "dict[str, np.ndarray]":
@@ -271,17 +298,24 @@ class ClusterReport(ServingReport):
             batch_replica = arrays["batch_replica"]
             n_replicas = len(arrays["routed_per_replica"])
             replica_reports = []
+            served_code = _STATUS_CODES[SERVED]
             for r in range(n_replicas):
                 own = [
                     b for b, br in zip(batches, batch_replica) if int(br) == r
                 ]
                 # Per-replica latencies replay in the original accumulation
-                # order: batch by batch (dispatch order), member by member.
+                # order: batch by batch (dispatch order), member by member —
+                # skipping members this batch did *not* deliver (hedge twins
+                # whose other copy won carry another replica's stamps).
                 own_latencies = np.array(
                     [
                         float(arrays["trace_latency_s"][rid])
                         for b in own
                         for rid in b.indices
+                        if int(arrays["trace_status"][rid]) == served_code
+                        and int(arrays["trace_replica"][rid]) == r
+                        and float(arrays["trace_dispatch_s"][rid])
+                        == b.dispatch_s
                     ],
                     dtype=np.float64,
                 )
@@ -308,6 +342,7 @@ class ClusterReport(ServingReport):
                 n_cache_hits=int(header["n_cache_hits"]),
                 cache_stats=header["cache_stats"],
                 trace=trace,
+                fault_stats=header.get("fault_stats"),
             )
         except (KeyError, IndexError, ValueError) as exc:
             raise FormatError(
@@ -316,7 +351,7 @@ class ClusterReport(ServingReport):
 
     @staticmethod
     def _none_if_rejected(value, status_code) -> "float | None":
-        return None if int(status_code) == _STATUS_CODES[REJECTED] else float(value)
+        return None if int(status_code) in _UNTIMED_CODES else float(value)
 
 
 class ClusterRuntime:
@@ -360,6 +395,13 @@ class ClusterRuntime:
         replica is rejected.  ``None`` means unbounded (nothing rejected).
     router_seed:
         Seed for randomised routing policies (power-of-two choices).
+    fault_plan:
+        Optional :class:`~repro.serving.faults.FaultPlan` injecting a
+        seeded schedule of replica crashes, slow windows and engine
+        exceptions into the run.  Every plan replica index must exist.
+    resilience:
+        Optional :class:`~repro.serving.faults.ResilienceConfig` with the
+        retry/backoff/hedge knobs (library defaults when ``None``).
     """
 
     def __init__(
@@ -372,6 +414,8 @@ class ClusterRuntime:
         queue_capacity: "int | None" = None,
         router_seed: int = 0,
         cache: "QueryCache | None" = None,
+        fault_plan: "FaultPlan | None" = None,
+        resilience: "ResilienceConfig | None" = None,
     ):
         self.replicas = list(replicas)
         if not self.replicas:
@@ -413,6 +457,22 @@ class ClusterRuntime:
                 "(shared across runs), not both"
             )
         self.shared_cache = cache
+        self.fault_plan = fault_plan
+        self.resilience = resilience
+        if fault_plan is not None:
+            referenced = (
+                {c.replica for c in fault_plan.crashes}
+                | {w.replica for w in fault_plan.slow}
+                | {f.replica for f in fault_plan.engine_faults}
+            )
+            bad = sorted(
+                r for r in referenced if not 0 <= r < len(self.replicas)
+            )
+            if bad:
+                raise ConfigurationError(
+                    f"fault plan targets replicas {bad} but the cluster "
+                    f"has {len(self.replicas)}"
+                )
         self._last_shared_version = None
         if self.cache_size is not None or self.shared_cache is not None:
             # Fail construction fast on an uncacheable fleet; the actual
@@ -489,6 +549,8 @@ class ClusterRuntime:
             max_wait_s=self.max_wait_s,
             queue_capacity=self.queue_capacity,
             top_k=check_positive_int(top_k, "top_k"),
+            fault_plan=self.fault_plan,
+            resilience=self.resilience,
         )
 
     def run(
@@ -500,7 +562,7 @@ class ClusterRuntime:
         """Simulate serving the stream through the whole cluster tier.
 
         Returns per-request results in input order (``None`` marks a
-        rejected request) and the :class:`ClusterReport`.  The simulation is
+        rejected or typed-failed request) and the :class:`ClusterReport`.  The simulation is
         a pure function of its inputs and the runtime's configuration —
         running it twice yields identical traces, which the property suite
         asserts.
@@ -527,8 +589,22 @@ class ClusterRuntime:
         while True:
             arrival = arrivals[i] if i < n else None
             dispatch = policy.next_dispatch()
-            if arrival is None and dispatch is None:
+            event = policy.next_event_s()
+            if arrival is None and dispatch is None and event is None:
                 break
+            # Policy events (crash/recover transitions, due retries, due
+            # hedges) win ties with both dispatches and arrivals: a crash
+            # at the dispatch instant takes the departing batch down with
+            # it, and a request arriving at a recovery instant sees the
+            # recovered replica.
+            dispatch_t = None if dispatch is None else dispatch[0]
+            horizon = min(
+                (t for t in (dispatch_t, arrival) if t is not None),
+                default=None,
+            )
+            if event is not None and (horizon is None or event <= horizon):
+                policy.run_events(event)
+                continue
             # Arrivals win ties with dispatches at the same instant, exactly
             # as in the single-board batcher: a request landing at the
             # dispatch time joins the departing batch.
@@ -600,5 +676,6 @@ class ClusterRuntime:
             n_cache_hits=policy.n_cache_hits,
             cache_stats=cache_stats,
             trace=traces,
+            fault_stats=policy.fault_stats(),
         )
         return results, report

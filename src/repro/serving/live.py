@@ -44,10 +44,17 @@ Protocol ops (requests are ``{"op": ..., ...}`` frames):
 
 ``query``
     ``{"op": "query", "id": <any>, "query": [floats]}`` → one ``result``
-    frame with ``status`` (``served`` / ``cache-hit`` / ``rejected``),
-    the exact Top-K (indices/values) when completed, and both the virtual
-    and wall latency.  Queries on one connection may be pipelined;
-    responses carry the caller's ``id``.
+    frame with ``status`` (``served`` / ``cache-hit`` / ``rejected`` /
+    ``failed``), the exact Top-K (indices/values) when completed, and both
+    the virtual and wall latency.  Queries on one connection may be
+    pipelined; responses carry the caller's ``id``.  Failure responses are
+    *typed* ``error`` frames with a machine-readable ``code``:
+    ``bad-frame`` (malformed or oversized frame — the connection then
+    closes, a corrupt length prefix cannot be resynchronised),
+    ``bad-query`` / ``bad-top-k`` / ``unknown-op`` (bad request),
+    ``overloaded`` (load shed before admission), ``deadline`` (per-request
+    deadline exceeded; the decision core still finishes the request),
+    ``engine-failure`` and ``shutting-down``.
 ``ping`` / ``info`` / ``stats``
     Liveness, static configuration, live counters.
 ``verify``
@@ -70,7 +77,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, FormatError
 from repro.serving.cluster import ClusterRuntime
-from repro.serving.policy import QUEUED, REJECTED
+from repro.serving.policy import FAILED, QUEUED, REJECTED
 from repro.serving.protocol import (
     read_frame,
     result_to_wire,
@@ -106,12 +113,25 @@ class LiveStats:
     n_rejected: int
     wall_latencies_s: np.ndarray
     span_s: float
+    #: Typed ``overloaded`` errors returned before admission (load shed).
+    n_shed: int = 0
+    #: Typed ``deadline`` errors (the decision core still completed them).
+    n_deadline: int = 0
 
     @property
     def reject_rate(self) -> float:
         if not self.n_offered:
             return 0.0
         return self.n_rejected / self.n_offered
+
+    @property
+    def availability(self) -> float:
+        """Completed over offered (1.0 for an empty run) — what a chaos
+        benchmark floors: typed rejects, sheds and deadline misses all
+        count against it, silent drops cannot exist to count."""
+        if not self.n_offered:
+            return 1.0
+        return self.n_completed / self.n_offered
 
     @property
     def p50_latency_s(self) -> float:
@@ -144,7 +164,10 @@ class LiveStats:
             "n_queries": self.n_completed,
             "n_offered": self.n_offered,
             "n_rejected": self.n_rejected,
+            "n_shed": self.n_shed,
+            "n_deadline": self.n_deadline,
             "reject_rate": self.reject_rate,
+            "availability": self.availability,
             "p50_latency_ms": self.p50_latency_s * 1e3,
             "p99_latency_ms": self.p99_latency_s * 1e3,
             "mean_latency_ms": self.mean_latency_s * 1e3,
@@ -235,6 +258,20 @@ class LiveServer:
         so lazily-built engine state (stream plans, kernels) is populated
         outside the serving path and the executor threads never build it
         concurrently.
+    deadline_s:
+        Optional per-request deadline: a queued request not completed
+        within this many wall seconds gets a typed ``deadline`` error
+        frame.  The decision core still finishes it (exactly-once holds;
+        the result is discarded), so replay is unaffected.
+    max_pending:
+        Optional load-shed bound: when the decision core already holds
+        this many requests (queued plus in flight), new arrivals get a
+        typed ``overloaded`` error *before* admission — they never enter
+        the decision stream, so a shed run still replays exactly.
+    max_frame_bytes:
+        Per-frame body cap for untrusted input (defaults to the protocol
+        cap); an oversized or malformed frame gets a typed ``bad-frame``
+        error frame instead of a silent close.
     """
 
     def __init__(
@@ -244,12 +281,30 @@ class LiveServer:
         host: str = "127.0.0.1",
         port: int = 0,
         warmup: bool = False,
+        deadline_s: "float | None" = None,
+        max_pending: "int | None" = None,
+        max_frame_bytes: "int | None" = None,
     ):
         self.runtime = runtime
         self.top_k = check_positive_int(top_k, "top_k")
         self.host = host
         self._requested_port = int(port)
         self.warmup = bool(warmup)
+        if deadline_s is not None and not deadline_s > 0.0:
+            raise ConfigurationError(
+                f"deadline_s must be > 0, got {deadline_s}"
+            )
+        self.deadline_s = None if deadline_s is None else float(deadline_s)
+        self.max_pending = (
+            None
+            if max_pending is None
+            else check_positive_int(max_pending, "max_pending")
+        )
+        self.max_frame_bytes = (
+            None
+            if max_frame_bytes is None
+            else check_positive_int(max_frame_bytes, "max_frame_bytes")
+        )
         self.port: "int | None" = None
         self._loop: "asyncio.AbstractEventLoop | None" = None
         self._policy = None
@@ -274,6 +329,8 @@ class LiveServer:
         self._wall_last: "float | None" = None
         self._wall_latencies: "list[float]" = []
         self._wall_rejected = 0
+        self._wall_shed = 0
+        self._wall_deadline = 0
         self._tasks: "set[asyncio.Task]" = set()
         self._writers: "set[asyncio.StreamWriter]" = set()
 
@@ -393,13 +450,26 @@ class LiveServer:
         Completions are applied strictly in dispatch order — never in
         engine-finish order — so the policy's completion sequence (which
         breaks cache-fill ties) matches the simulator's.
+
+        An engine call that *raised* is a real (uninjected) failure: the
+        batch is handed to :meth:`ClusterPolicy.fail_batch` — members
+        requeued with backoff, the replica struck — instead of poisoning
+        the run.  Real failures are not in any plan, so such a run trades
+        replayability for graceful degradation, by design.
         """
         entry = self._inflight.pop(0)
         try:
             served = entry.future.result()
-        except BaseException as exc:
-            self._fail(exc, entry.members)
-            raise
+        except Exception:
+            # Detection is stamped no earlier than the dispatch and no
+            # earlier than the last recorded arrival, keeping the virtual
+            # clock monotone for the retry events this schedules.
+            at_s = max(entry.dispatch_s, self._last_arrival_s)
+            self._policy.fail_batch(
+                entry.replica, entry.dispatch_s, entry.members, at_s=at_s
+            )
+            self._wake_done()
+            return
         try:
             self._policy.complete(
                 entry.replica, entry.dispatch_s, entry.members, served
@@ -407,9 +477,19 @@ class LiveServer:
         except BaseException as exc:
             self._fail(exc, entry.members)
             raise
-        for rid, _arrival in entry.members:
-            waiter = self._waiters.pop(rid, None)
-            if waiter is not None and not waiter.done():
+        self._wake_done()
+
+    def _wake_done(self) -> None:
+        """Resolve the waiter of every request that has gone terminal.
+
+        Requests turn terminal outside their own batch's completion too —
+        typed-failed by an exhausted retry budget, rejected by a full queue
+        on retry, delivered by a hedge twin — so waiters are swept against
+        the trace map rather than woken per batch."""
+        done = [rid for rid in self._waiters if rid in self._policy.traces]
+        for rid in done:
+            waiter = self._waiters.pop(rid)
+            if not waiter.done():
                 waiter.set_result(None)
 
     async def _settle_front(self) -> None:
@@ -440,11 +520,14 @@ class LiveServer:
     async def _run_due(
         self, until_s: float, strict: bool, settle_all: bool = False
     ) -> None:
-        """Run every dispatch due by ``until_s``, in virtual-time order.
+        """Run every dispatch *and policy event* due by ``until_s``, in
+        virtual-time order.
 
         ``strict`` runs dispatches strictly *before* ``until_s`` (the
         arrival path: arrivals win ties, so a dispatch at the arrival
-        instant must wait for the arrival to join).  A busy replica's next
+        instant must wait for the arrival to join); policy events at the
+        arrival instant are left to :meth:`ClusterPolicy.offer`, which runs
+        them itself (events win ties with arrivals).  A busy replica's next
         dispatch time is unknown until its batch settles; whenever a busy
         replica could owe a dispatch at or before the best known one (its
         completion is bounded below by its dispatch instant, its next batch
@@ -454,10 +537,18 @@ class LiveServer:
         additionally settles every in-flight batch before returning (the
         arrival path again: an arrival must see every completion at or
         before it, and completion instants are unknown until settled).
+
+        Events win ties with dispatches, exactly as in the simulator's
+        loop — and before an event fires, any in-flight batch dispatched
+        at or before it is settled first: the simulator completes a batch
+        synchronously at its dispatch step, so that batch's effects
+        (strikes, requeues) are visible to every later event there and
+        must be here too.
         """
         while True:
             busy = {entry.replica for entry in self._inflight}
             nxt = self._policy.next_dispatch(exclude=busy)
+            event_t = self._policy.next_event_s()
             bound = None
             for entry in self._inflight:
                 pending = self._policy.states[entry.replica].queue.pending
@@ -470,6 +561,18 @@ class LiveServer:
             def due(t: float) -> bool:
                 return t < until_s if strict else t <= until_s
 
+            if (
+                event_t is not None
+                and due(event_t)
+                and (nxt is None or event_t <= nxt[0])
+                and (bound is None or event_t <= bound)
+            ):
+                if self._inflight and self._inflight[0].dispatch_s <= event_t:
+                    await self._settle_front()
+                    continue
+                self._policy.run_events(event_t)
+                self._wake_done()
+                continue
             if bound is not None and due(bound) and (
                 nxt is None or bound <= nxt[0]
             ):
@@ -490,20 +593,28 @@ class LiveServer:
             self._timer_at = None
 
     def _reschedule(self) -> None:
-        """(Re-)arm the deadline timer for the earliest known dispatch."""
+        """(Re-)arm the timer for the earliest known dispatch or event.
+
+        Policy events (plan transitions, due retries, due hedges) need a
+        wake-up of their own: a retry scheduled with backoff must fire even
+        if no arrival or dispatch ever lands near it."""
         if self._stopping or self._failure is not None:
             return
         busy = {entry.replica for entry in self._inflight}
         nxt = self._policy.next_dispatch(exclude=busy)
-        if nxt is None:
+        wake = None if nxt is None else nxt[0]
+        event_t = self._policy.next_event_s()
+        if event_t is not None and (wake is None or event_t < wake):
+            wake = event_t
+        if wake is None:
             self._cancel_timer()
             return
-        if self._timer is not None and self._timer_at == nxt[0]:
+        if self._timer is not None and self._timer_at == wake:
             return
         self._cancel_timer()
-        self._timer_at = nxt[0]
+        self._timer_at = wake
         self._timer = self._loop.call_at(
-            self._origin + nxt[0], self._on_timer
+            self._origin + wake, self._on_timer
         )
 
     def _on_timer(self) -> None:
@@ -531,7 +642,15 @@ class LiveServer:
         """
         async with self._lock:
             if self._stopping or self._failure is not None:
-                return None, None, None
+                return None, "stopping", None
+            if self.max_pending is not None:
+                pending = self._policy.n_queued + sum(
+                    len(entry.members) for entry in self._inflight
+                )
+                if pending >= self.max_pending:
+                    # Shed *before* admission: the request never enters the
+                    # decision stream, so replay is untouched.
+                    return None, "overloaded", None
             rid = self._next_rid
             self._next_rid += 1
             t = self._now_v()
@@ -542,8 +661,9 @@ class LiveServer:
             self._last_arrival_s = t
             await self._run_due(t, strict=True, settle_all=True)
             if self._stopping or self._failure is not None:
-                return None, None, None
+                return None, "stopping", None
             status = self._policy.offer(rid, t, query)
+            self._wake_done()
             waiter = None
             if status == QUEUED:
                 waiter = self._loop.create_future()
@@ -561,8 +681,20 @@ class LiveServer:
         try:
             while True:
                 try:
-                    message = await read_frame(reader)
-                except (FormatError, ConnectionError, OSError):
+                    message = await read_frame(
+                        reader, max_bytes=self.max_frame_bytes
+                    )
+                except FormatError as exc:
+                    # Malformed or oversized frame: answer typed, then
+                    # close — a corrupt length prefix leaves no way to
+                    # resynchronise the stream.
+                    await self._respond(
+                        writer, write_lock,
+                        {"op": "error", "code": "bad-frame",
+                         "error": str(exc)},
+                    )
+                    break
+                except (ConnectionError, OSError):
                     break
                 if message is None:
                     break
@@ -596,6 +728,7 @@ class LiveServer:
                     await self._respond(
                         writer, write_lock,
                         {"op": "error", "id": message.get("id"),
+                         "code": "unknown-op",
                          "error": f"unknown op {op!r}"},
                     )
         finally:
@@ -628,26 +761,44 @@ class LiveServer:
             query = None
         if query is None or query.shape != (self.runtime.n_cols,):
             return {
-                "op": "error", "id": client_id,
+                "op": "error", "id": client_id, "code": "bad-query",
                 "error": f"query must be a flat list of "
                          f"{self.runtime.n_cols} numbers",
             }
         requested_k = message.get("top_k", self.top_k)
         if requested_k != self.top_k:
             return {
-                "op": "error", "id": client_id,
+                "op": "error", "id": client_id, "code": "bad-top-k",
                 "error": f"this server serves top_k={self.top_k} "
                          f"(got {requested_k}); restart to change K",
             }
         rid, status, waiter = await self._admit(query)
         if rid is None:
-            return {"op": "error", "id": client_id,
+            if status == "overloaded":
+                self._wall_shed += 1
+                return {"op": "error", "id": client_id, "code": "overloaded",
+                        "error": "server overloaded; retry later"}
+            return {"op": "error", "id": client_id, "code": "shutting-down",
                     "error": "server is shutting down"}
         if waiter is not None:
             try:
-                await waiter
+                if self.deadline_s is not None:
+                    # Shield: on expiry the decision core still finishes
+                    # the request (replay and exactly-once are untouched);
+                    # only this response path gives up.
+                    await asyncio.wait_for(
+                        asyncio.shield(waiter), self.deadline_s
+                    )
+                else:
+                    await waiter
+            except asyncio.TimeoutError:
+                self._wall_deadline += 1
+                return {"op": "error", "id": client_id, "code": "deadline",
+                        "request_id": rid,
+                        "error": f"deadline of {self.deadline_s}s exceeded"}
             except BaseException as exc:
                 return {"op": "error", "id": client_id,
+                        "code": "engine-failure",
                         "error": f"engine failure: {exc}"}
         trace = self._policy.traces[rid]
         done = self._loop.time()
@@ -664,7 +815,7 @@ class LiveServer:
             "wall_latency_s": wall_latency,
             "virtual_latency_s": trace.latency_s,
         }
-        if trace.status == REJECTED:
+        if trace.status in (REJECTED, FAILED):
             self._wall_rejected += 1
             return response
         self._wall_latencies.append(wall_latency)
@@ -688,6 +839,14 @@ class LiveServer:
             "max_wait_s": rt.max_wait_s,
             "queue_capacity": rt.queue_capacity,
             "cache_size": rt.cache_size,
+            "deadline_s": self.deadline_s,
+            "max_pending": self.max_pending,
+            "fault_plan": (
+                rt.fault_plan.to_dict() if rt.fault_plan is not None else None
+            ),
+            "resilience": (
+                rt.resilience.to_dict() if rt.resilience is not None else None
+            ),
         }
 
     def _stats_locked(self) -> dict:
@@ -709,11 +868,16 @@ class LiveServer:
         if self._wall_first is not None and self._wall_last is not None:
             span = self._wall_last - self._wall_first
         return LiveStats(
-            n_offered=len(self._wall_latencies) + self._wall_rejected,
+            n_offered=(
+                len(self._wall_latencies) + self._wall_rejected
+                + self._wall_shed + self._wall_deadline
+            ),
             n_completed=len(self._wall_latencies),
             n_rejected=self._wall_rejected,
             wall_latencies_s=np.asarray(self._wall_latencies, dtype=np.float64),
             span_s=float(span),
+            n_shed=self._wall_shed,
+            n_deadline=self._wall_deadline,
         )
 
     def decision_report(self):
@@ -750,6 +914,8 @@ class LiveServer:
             max_batch_size=rt.max_batch_size,
             max_wait_s=rt.max_wait_s,
             queue_capacity=rt.queue_capacity,
+            fault_plan=rt.fault_plan,
+            resilience=rt.resilience,
         )
 
     async def verify(self) -> dict:
@@ -808,6 +974,11 @@ def serve_collection(
     host: str = "127.0.0.1",
     port: int = 0,
     warmup: bool = True,
+    fault_plan=None,
+    resilience=None,
+    deadline_s: "float | None" = None,
+    max_pending: "int | None" = None,
+    max_frame_bytes: "int | None" = None,
 ) -> LiveServer:
     """Build a :class:`LiveServer` over fresh engines for one collection."""
     from repro.core.engine import TopKSpmvEngine
@@ -823,7 +994,11 @@ def serve_collection(
         max_wait_s=max_wait_s,
         queue_capacity=queue_capacity,
         router_seed=router_seed,
+        fault_plan=fault_plan,
+        resilience=resilience,
     )
     return LiveServer(
-        runtime, top_k=top_k, host=host, port=port, warmup=warmup
+        runtime, top_k=top_k, host=host, port=port, warmup=warmup,
+        deadline_s=deadline_s, max_pending=max_pending,
+        max_frame_bytes=max_frame_bytes,
     )

@@ -46,11 +46,32 @@ class LoadGenResult:
 
     @property
     def n_completed(self) -> int:
-        return sum(s != "rejected" for s in self.statuses)
+        """Requests that came back with a result (served or cache hit)."""
+        return sum(s in ("served", "cache-hit") for s in self.statuses)
 
     @property
     def n_rejected(self) -> int:
         return sum(s == "rejected" for s in self.statuses)
+
+    @property
+    def n_failed(self) -> int:
+        """Typed ``failed`` results (retry budget exhausted server-side)."""
+        return sum(s == "failed" for s in self.statuses)
+
+    @property
+    def n_errors(self) -> int:
+        """Typed error frames (deadline, overloaded, shutting-down, ...)."""
+        return sum(s.startswith("error:") for s in self.statuses)
+
+    @property
+    def error_codes(self) -> "dict[str, int]":
+        """Typed-error counts keyed by the server's error ``code``."""
+        codes: "dict[str, int]" = {}
+        for s in self.statuses:
+            if s.startswith("error:"):
+                code = s.split(":", 1)[1]
+                codes[code] = codes.get(code, 0) + 1
+        return codes
 
     @property
     def n_cache_hits(self) -> int:
@@ -61,6 +82,14 @@ class LoadGenResult:
         if not self.n_sent:
             return 0.0
         return self.n_rejected / self.n_sent
+
+    @property
+    def availability(self) -> float:
+        """Completed over sent (1.0 for an empty run): the chaos-benchmark
+        floor — typed rejects, failures and errors all count against it."""
+        if not self.n_sent:
+            return 1.0
+        return self.n_completed / self.n_sent
 
     @property
     def qps(self) -> float:
@@ -90,7 +119,11 @@ class LoadGenResult:
                 "n_served": self.n_completed - self.n_cache_hits,
                 "n_cache_hits": self.n_cache_hits,
                 "n_rejected": self.n_rejected,
+                "n_failed": self.n_failed,
+                "n_errors": self.n_errors,
+                "error_codes": self.error_codes,
                 "reject_rate": self.reject_rate,
+                "availability": self.availability,
             },
             "server_wall": {
                 "p50_latency_ms": self._pct(self.server_wall_s, 50) * 1e3,
@@ -111,7 +144,8 @@ class LoadGenResult:
         lines = [
             f"sent {self.n_sent} queries: {self.n_completed} completed "
             f"({self.n_cache_hits} cache hits), {self.n_rejected} rejected "
-            f"({self.reject_rate:.1%})",
+            f"({self.reject_rate:.1%}), {self.n_failed} failed, "
+            f"{self.n_errors} errors — availability {self.availability:.1%}",
             f"client RTT p50 {self._pct(self.rtt_s, 50) * 1e3:.3f} ms | "
             f"p99 {self._pct(self.rtt_s, 99) * 1e3:.3f} ms | "
             f"{self.qps:.1f} QPS over {self.span_s:.3f} s",
@@ -199,7 +233,19 @@ async def run_load_gen(
                         "server closed the connection mid-stream"
                     )
                 if message.get("op") == "error":
-                    raise FormatError(f"server error: {message.get('error')}")
+                    # Per-request typed errors (deadline, overloaded,
+                    # shutting-down, ...) are *data* — a fault-tolerant
+                    # server degrades with these instead of dropping the
+                    # connection.  Only an unattributable error (no
+                    # request id, e.g. bad-frame) aborts the run.
+                    if message.get("id") is None:
+                        raise FormatError(
+                            f"server error: {message.get('error')}"
+                        )
+                    i = int(message["id"])
+                    recv_wall[i] = loop.time()
+                    statuses[i] = f"error:{message.get('code', 'unknown')}"
+                    continue
                 i = int(message["id"])
                 recv_wall[i] = loop.time()
                 statuses[i] = message["status"]
@@ -212,7 +258,9 @@ async def run_load_gen(
             asyncio.gather(send_stream(), recv_stream()), timeout_s
         )
 
-        completed = np.array([s != "rejected" for s in statuses])
+        completed = np.array(
+            [s in ("served", "cache-hit") for s in statuses]
+        )
         rtt = (recv_wall - send_wall)[completed]
         span = float(recv_wall.max() - send_wall.min())
 

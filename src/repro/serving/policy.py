@@ -3,31 +3,50 @@
 :class:`~repro.serving.cluster.ClusterRuntime` (the deterministic
 discrete-event simulation) and :class:`~repro.serving.live.LiveServer` (the
 asyncio daemon serving wall-clock traffic) must make *identical* decisions —
-batch membership, dispatch order, route choice, cache hit/miss, rejects —
-given the same ``(request id, arrival time, query)`` stream.  That guarantee
-is not asserted after the fact; it is engineered here: both drivers push
-their events through one :class:`ClusterPolicy` instance, so the decision
-logic exists exactly once and the replay property suite
-(``tests/property/test_prop_live_replay.py``) only has to check that the
-drivers deliver events in the same order.
+batch membership, dispatch order, route choice, cache hit/miss, rejects,
+and, under an injected :class:`~repro.serving.faults.FaultPlan`, failover,
+retry and hedge choices — given the same ``(request id, arrival time,
+query)`` stream.  That guarantee is not asserted after the fact; it is
+engineered here: both drivers push their events through one
+:class:`ClusterPolicy` instance, so the decision logic exists exactly once
+and the replay property suites (``tests/property/test_prop_live_replay.py``,
+``tests/property/test_prop_faults.py``) only have to check that the drivers
+deliver events in the same order.
 
-A policy instance is fed three kinds of events, always in non-decreasing
+A policy instance is fed four kinds of events, always in non-decreasing
 virtual time:
 
 * :meth:`offer` — a request arrives: drain due completions, try the cache,
-  route, admit (or reject), enqueue;
+  route (excluding down replicas), admit (or reject), enqueue;
 * :meth:`pop` / :meth:`complete` — a batch leaves a replica's
   :class:`~repro.serving.batcher.BatchQueue` and, once the engine has run
   it, its modelled completion advances the board-free time and schedules
-  the cache fill;
+  the cache fill.  With a fault plan, :meth:`complete` is also where
+  injected failures bite: a crash mid-service or an injected engine
+  exception discards the results and requeues the members with seeded
+  backoff;
+* :meth:`run_events` — apply scheduled *policy events* (crash/recover
+  transitions from the plan, due retries, due hedges) up to an instant;
+  :meth:`next_event_s` names the earliest pending one so drivers can
+  interleave them with dispatches and arrivals in virtual-time order
+  (events win ties with both);
 * :meth:`drain_completions` — apply every completion up to a given instant
   (cache inserts and outstanding-count decrements never see the future).
 
 The engine call itself stays with the driver: the simulator runs it inline,
 the daemon pushes it through an executor so the event loop never blocks.
 Either way the *policy clock* advances by the engine's modelled
-``served.seconds`` — which is what locks the live daemon's decisions to the
-simulator even though its requests ride a real wall clock.
+``served.seconds`` (scaled by any slow-replica window) — which is what
+locks the live daemon's decisions to the simulator even though its
+requests ride a real wall clock.
+
+**Exactly-once delivery.**  A request may be queued more than once (a
+hedge duplicate, or a requeue after a failure) but completes at most once:
+the first completion records the trace and result, later copies are
+discarded on arrival.  A request whose retry budget is exhausted gets a
+typed ``failed`` trace — conservation holds: every offered request ends
+``served``, ``cache-hit``, ``rejected`` or ``failed``, never silently
+dropped and never duplicated.
 """
 
 from __future__ import annotations
@@ -40,11 +59,20 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.serving.batcher import BatchQueue, ServedBatch, check_served_batch
 from repro.serving.cache import query_cache_key
+from repro.serving.faults import (
+    DOWN,
+    HEALTHY,
+    RECOVERING,
+    SUSPECT_STRIKES,
+    SUSPECTED,
+    ResilienceConfig,
+)
 
 __all__ = [
     "SERVED",
     "CACHE_HIT",
     "REJECTED",
+    "FAILED",
     "QUEUED",
     "RequestTrace",
     "ClusterPolicy",
@@ -55,21 +83,31 @@ __all__ = [
 SERVED = "served"
 CACHE_HIT = "cache-hit"
 REJECTED = "rejected"
+#: Typed rejection of a request whose retry budget was exhausted by
+#: injected or real batch failures (never a silent drop or a hang).
+FAILED = "failed"
 
 #: :meth:`ClusterPolicy.offer` outcome for a request that entered a queue
 #: (its trace is written later, at batch completion).
 QUEUED = "queued"
+
+#: Event-heap priorities: plan transitions fire before retries, retries
+#: before hedges, at the same instant (a retry landing at a recovery
+#: instant must see the recovered replica).
+_EVENT_PRIORITY = {"crash": 0, "recover": 1, "retry": 2, "hedge": 3}
 
 
 @dataclass(frozen=True)
 class RequestTrace:
     """What happened to one request, in full (the replay-test currency).
 
-    ``replica`` is the replica the router chose (also set for rejected
-    requests — the reject is accounted against it) and ``-1`` for cache
-    hits, which never reach the routing tier.  ``dispatch_s``,
-    ``completion_s`` and ``latency_s`` are ``None`` for rejected requests;
-    cache hits complete instantly (``latency_s == 0.0``).
+    ``arrival_s`` is always the *original* arrival — retries and hedges
+    never rewrite it, so a recorded stream replays through the simulator
+    verbatim.  ``replica`` is the replica the router chose (also set for
+    rejected requests — the reject is accounted against it) and ``-1`` for
+    cache hits and failed requests.  ``dispatch_s``, ``completion_s`` and
+    ``latency_s`` are ``None`` for rejected and failed requests; cache hits
+    complete instantly (``latency_s == 0.0``).
     """
 
     request_id: int
@@ -94,6 +132,14 @@ class _ReplicaState:
     last_completion_s: float = 0.0
     batches: "list[ServedBatch]" = field(default_factory=list)
     latencies: "list[float]" = field(default_factory=list)
+    #: Health state machine: healthy -> suspected -> down -> recovering.
+    health: str = HEALTHY
+    #: Consecutive failed batches (reset on success; SUSPECT_STRIKES -> down).
+    strikes: int = 0
+    #: Batches popped so far (the index EngineFault injections key on).
+    dispatched: int = 0
+    #: Crash transitions applied (plan crashes + strike-outs).
+    crashes: int = 0
 
 
 class ClusterPolicy:
@@ -104,7 +150,9 @@ class ClusterPolicy:
     :meth:`~repro.serving.cluster.ClusterRuntime.build_policy`): ``router``
     must already be reset, ``cache`` already keyed for ``(digest,
     generation)``, ``design`` is the first replica's accelerator design (for
-    query quantisation in the cache key) or ``None``.
+    query quantisation in the cache key) or ``None``.  ``fault_plan``
+    (optional) injects the seeded failure schedule; ``resilience`` carries
+    the retry/backoff/hedge knobs (defaults apply when ``None``).
 
     The policy is single-run state: build a fresh one per stream.  It holds
     every recorded outcome — traces, per-request results and latencies,
@@ -124,6 +172,8 @@ class ClusterPolicy:
         max_wait_s: float,
         queue_capacity: "int | None",
         top_k: int,
+        fault_plan=None,
+        resilience: "ResilienceConfig | None" = None,
     ):
         self.n_replicas = int(n_replicas)
         self.router = router
@@ -133,6 +183,8 @@ class ClusterPolicy:
         self.generation = generation
         self.queue_capacity = queue_capacity
         self.top_k = int(top_k)
+        self.fault_plan = fault_plan
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
         self.states = [
             _ReplicaState(queue=BatchQueue(max_batch_size, max_wait_s))
             for _ in range(self.n_replicas)
@@ -144,12 +196,35 @@ class ClusterPolicy:
         self.latencies: "dict[int, float]" = {}
         self.all_batches: "list[ServedBatch]" = []
         self.n_cache_hits = 0
-        # Completion events: (time, seq, replica, [(key, result), ...]).
+        # Completion events: (time, seq, replica, n_members, [(key, result)]).
         # Drained strictly in time order before any arrival/dispatch at a
         # later instant, so outstanding counts — and the cache — only ever
-        # see the past.
+        # see the past.  Failed batches decrement outstanding with an empty
+        # insert list.
         self._completions: list = []
         self._seq = 0
+        # Policy events: (time, priority, seq, kind, payload) — plan
+        # crash/recover transitions, due retries, due hedges.
+        self._events: list = []
+        self._event_seq = 0
+        if self.fault_plan is not None:
+            for at_s, kind, replica in self.fault_plan.transitions():
+                self._push_event(at_s, kind, replica)
+        # Original arrival per request id (traces and replay use these;
+        # retry/hedge queue pushes carry later stamps).
+        self._arrival0: "dict[int, float]" = {}
+        # Live queue/in-flight copies per rid: a request is only failed out
+        # when no copy can still complete it.
+        self._copies: "dict[int, int]" = {}
+        # Attempts consumed per rid (0 = the original dispatch).
+        self._attempts: "dict[int, int]" = {}
+        # Fault/recovery accounting (reported as ClusterReport.fault_stats).
+        self.n_retries = 0
+        self.n_hedges = 0
+        self.n_hedge_wasted = 0
+        self.n_failed = 0
+        self.n_rescued = 0
+        self.n_batch_failures = 0
 
     # ------------------------------------------------------------------ #
     # Event ingestion
@@ -157,8 +232,8 @@ class ClusterPolicy:
     def drain_completions(self, until_s: float) -> None:
         """Apply every completion at or before ``until_s``."""
         while self._completions and self._completions[0][0] <= until_s:
-            _, _, replica, inserts = heapq.heappop(self._completions)
-            self.states[replica].outstanding -= len(inserts)
+            _, _, replica, n_members, inserts = heapq.heappop(self._completions)
+            self.states[replica].outstanding -= n_members
             if self.cache is not None:
                 for key, result in inserts:
                     self.cache.put(key, result)
@@ -183,16 +258,189 @@ class ClusterPolicy:
         ``exclude`` lets the live driver skip replicas whose board-free
         time is not yet known (a batch is still running in the executor) —
         their next dispatch cannot precede that batch's completion anyway.
+        Down replicas never dispatch (their queues are drained at the
+        crash, so this is a guard, not a decision).
         """
         best = None
         best_replica = -1
         for r, state in enumerate(self.states):
-            if r in exclude:
+            if r in exclude or state.health == DOWN:
                 continue
             at = state.queue.next_dispatch_s()
             if at is not None and (best is None or at < best):
                 best, best_replica = at, r
         return None if best is None else (best, best_replica)
+
+    # ------------------------------------------------------------------ #
+    # Policy events: crash/recover transitions, retries, hedges
+    # ------------------------------------------------------------------ #
+    def _push_event(self, at_s: float, kind: str, payload) -> None:
+        heapq.heappush(
+            self._events,
+            (float(at_s), _EVENT_PRIORITY[kind], self._event_seq, kind, payload),
+        )
+        self._event_seq += 1
+
+    def next_event_s(self) -> "float | None":
+        """Earliest pending policy event (``None`` when the heap is empty).
+
+        Drivers must apply events before any dispatch or arrival at a later
+        — or equal — instant: events win ties with both.
+        """
+        return self._events[0][0] if self._events else None
+
+    def run_events(self, until_s: float) -> None:
+        """Apply every policy event at or before ``until_s``, in order."""
+        while self._events and self._events[0][0] <= until_s:
+            at_s, _, _, kind, payload = heapq.heappop(self._events)
+            self.drain_completions(at_s)
+            if kind == "crash":
+                self._apply_crash(int(payload), at_s)
+            elif kind == "recover":
+                self._apply_recover(int(payload), at_s)
+            elif kind == "retry":
+                self._apply_retry(int(payload), at_s)
+            else:  # hedge
+                rid, replica = payload
+                self._apply_hedge(int(rid), int(replica), at_s)
+
+    def _eligible(self) -> "list[int]":
+        return [r for r, s in enumerate(self.states) if s.health != DOWN]
+
+    def _apply_crash(self, replica: int, at_s: float) -> None:
+        """Plan transition: the replica dies; its queue is requeued."""
+        state = self.states[replica]
+        state.health = DOWN
+        state.strikes = 0
+        state.crashes += 1
+        if self.fault_plan is not None:
+            recover_s = self.fault_plan.recover_after(replica, at_s)
+        else:  # pragma: no cover - crash events only exist with a plan
+            recover_s = at_s
+        state.queue.t_free = max(state.queue.t_free, recover_s)
+        for rid, _arrival in state.queue.drain():
+            self._copies[rid] -= 1
+            self._requeue(rid, at_s)
+
+    def _apply_recover(self, replica: int, at_s: float) -> None:
+        """Plan transition: the replica is back (promoted on first success)."""
+        state = self.states[replica]
+        state.health = RECOVERING
+        state.strikes = 0
+        state.queue.t_free = max(state.queue.t_free, at_s)
+
+    def _strike(self, replica: int, at_s: float) -> None:
+        """One failed batch: suspected; SUSPECT_STRIKES in a row -> down."""
+        state = self.states[replica]
+        state.strikes += 1
+        if state.strikes >= SUSPECT_STRIKES:
+            state.health = DOWN
+            state.crashes += 1
+            # A strike-out has no scheduled recovery: drain and fail over.
+            for rid, _arrival in state.queue.drain():
+                self._copies[rid] -= 1
+                self._requeue(rid, at_s)
+        elif state.health != DOWN:
+            state.health = SUSPECTED
+
+    def _requeue(self, rid: int, at_s: float) -> None:
+        """A copy of ``rid`` was lost; schedule a retry or fail it out."""
+        if rid in self.results:
+            return  # a hedge twin already delivered it
+        if self._copies.get(rid, 0) > 0:
+            return  # another copy (queued or in flight) can still serve it
+        attempt = self._attempts.get(rid, 0) + 1
+        if attempt > self.resilience.max_retries:
+            self._fail_request(rid)
+            return
+        self._attempts[rid] = attempt
+        self.n_retries += 1
+        delay = self.resilience.backoff_s(rid, attempt)
+        self._push_event(at_s + delay, "retry", rid)
+
+    def _fail_request(self, rid: int) -> None:
+        """Retry budget exhausted: typed terminal ``failed`` trace."""
+        self.n_failed += 1
+        self.traces[rid] = RequestTrace(
+            request_id=rid,
+            arrival_s=self._arrival0[rid],
+            status=FAILED,
+            replica=-1,
+            dispatch_s=None,
+            completion_s=None,
+            latency_s=None,
+        )
+
+    def _apply_retry(self, rid: int, at_s: float) -> None:
+        """Re-route one lost request among the currently-up replicas."""
+        if rid in self.traces:
+            return  # terminal while the retry was pending (hedge/failure)
+        eligible = self._eligible()
+        if not eligible:
+            # The whole fleet is down.  Wait for the next scheduled
+            # recovery without consuming an attempt; fail out typed when
+            # none is coming.
+            for at, _prio, _seq, kind, _payload in sorted(self._events):
+                if kind == "recover" and at >= at_s:
+                    self._push_event(at, "retry", rid)
+                    return
+            self._fail_request(rid)
+            return
+        choice = int(
+            self.router.select([self.states[r].outstanding for r in eligible])
+        )
+        if not 0 <= choice < len(eligible):
+            raise ConfigurationError(
+                f"router {self.router.name!r} chose replica {choice} of "
+                f"{len(eligible)}"
+            )
+        replica = eligible[choice]
+        state = self.states[replica]
+        state.routed += 1
+        if (
+            self.queue_capacity is not None
+            and state.queue.queued >= self.queue_capacity
+        ):
+            state.rejected += 1
+            self.traces[rid] = RequestTrace(
+                request_id=rid,
+                arrival_s=self._arrival0[rid],
+                status=REJECTED,
+                replica=replica,
+                dispatch_s=None,
+                completion_s=None,
+                latency_s=None,
+            )
+            return
+        state.queue.push(rid, at_s)
+        state.outstanding += 1
+        self._copies[rid] = self._copies.get(rid, 0) + 1
+
+    def _apply_hedge(self, rid: int, replica: int, at_s: float) -> None:
+        """Duplicate a still-queued slow request onto another replica."""
+        if rid in self.traces:
+            return  # already terminal
+        state = self.states[replica]
+        if not any(qid == rid for qid, _ in state.queue.pending):
+            return  # already dispatched (in flight); first completion wins
+        candidates = [
+            r
+            for r in self._eligible()
+            if r != replica
+            and (
+                self.queue_capacity is None
+                or self.states[r].queue.queued < self.queue_capacity
+            )
+        ]
+        if not candidates:
+            return
+        target = min(
+            candidates, key=lambda r: (self.states[r].outstanding, r)
+        )
+        self.states[target].queue.push(rid, at_s)
+        self.states[target].outstanding += 1
+        self._copies[rid] = self._copies.get(rid, 0) + 1
+        self.n_hedges += 1
 
     def cache_key(self, rid: int):
         """The exact-result cache key of one offered request."""
@@ -211,14 +459,16 @@ class ClusterPolicy:
 
         Returns :data:`CACHE_HIT`, :data:`REJECTED` or :data:`QUEUED`.  The
         caller must already have run every dispatch strictly before
-        ``arrival_s`` (arrivals win ties with dispatches at the same
-        instant — a request landing exactly at a dispatch instant joins
-        the departing batch).
+        ``arrival_s`` and every policy event at or before it (arrivals win
+        ties with dispatches but lose them to events); both are re-applied
+        here defensively.
         """
         rid = int(rid)
         arrival_s = float(arrival_s)
+        self.run_events(arrival_s)
         self.drain_completions(arrival_s)
         self.queries[rid] = np.asarray(query, dtype=np.float64)
+        self._arrival0[rid] = arrival_s
         if self.cache is not None:
             hit = self.cache.get(self.cache_key(rid))
             if hit is not None:
@@ -235,14 +485,29 @@ class ClusterPolicy:
                     latency_s=0.0,
                 )
                 return CACHE_HIT
-        replica = int(
-            self.router.select([s.outstanding for s in self.states])
-        )
-        if not 0 <= replica < self.n_replicas:
-            raise ConfigurationError(
-                f"router {self.router.name!r} chose replica {replica} of "
-                f"{self.n_replicas}"
+        eligible = self._eligible()
+        if not eligible:
+            # Defensive: a generated plan always leaves a survivor, but a
+            # hand-written one may not — reject typed, never hang.
+            self.traces[rid] = RequestTrace(
+                request_id=rid,
+                arrival_s=arrival_s,
+                status=REJECTED,
+                replica=-1,
+                dispatch_s=None,
+                completion_s=None,
+                latency_s=None,
             )
+            return REJECTED
+        choice = int(
+            self.router.select([self.states[r].outstanding for r in eligible])
+        )
+        if not 0 <= choice < len(eligible):
+            raise ConfigurationError(
+                f"router {self.router.name!r} chose replica {choice} of "
+                f"{len(eligible)}"
+            )
+        replica = eligible[choice]
         state = self.states[replica]
         state.routed += 1
         if (
@@ -264,6 +529,13 @@ class ClusterPolicy:
             state.first_arrival_s = arrival_s
         state.queue.push(rid, arrival_s)
         state.outstanding += 1
+        self._copies[rid] = self._copies.get(rid, 0) + 1
+        if self.resilience.hedge_after_s is not None and self.n_replicas > 1:
+            self._push_event(
+                arrival_s + self.resilience.hedge_after_s,
+                "hedge",
+                (rid, replica),
+            )
         return QUEUED
 
     def pop(
@@ -276,7 +548,12 @@ class ClusterPolicy:
         queues may already hold arrivals from *after* the virtual dispatch
         (the simulator never does, by event ordering).
         """
-        return self.states[replica].queue.pop_batch(until_s)
+        state = self.states[replica]
+        dispatch_s, members = state.queue.pop_batch(until_s)
+        state.dispatched += 1
+        for rid, _arrival in members:
+            self._copies[rid] -= 1
+        return dispatch_s, members
 
     def batch_queries(self, members) -> np.ndarray:
         """The ``(B, n_cols)`` query block of one popped batch."""
@@ -288,21 +565,59 @@ class ClusterPolicy:
         """Apply one engine batch result; returns the modelled completion.
 
         Advances the replica's board-free time by the *modelled*
-        ``served.seconds``, records traces/results/latencies, and schedules
-        the cache fill at the completion instant (applied by a later
-        :meth:`drain_completions` — results never time-travel into the
-        cache).
+        ``served.seconds`` (scaled by any slow-replica window), records
+        traces/results/latencies, and schedules the cache fill at the
+        completion instant (applied by a later :meth:`drain_completions` —
+        results never time-travel into the cache).
+
+        With a fault plan, this is also where injected failures land: a
+        crash strictly inside the service interval loses the batch at the
+        crash instant, an injected engine exception loses it at its
+        completion; either way the members are requeued with backoff and
+        no result is recorded.
         """
         topk = check_served_batch(served, len(members))
         state = self.states[replica]
-        completion = dispatch_s + served.seconds
+        batch_index = state.dispatched - 1
+        factor = (
+            self.fault_plan.service_factor(replica, dispatch_s)
+            if self.fault_plan is not None
+            else 1.0
+        )
+        service_s = float(served.seconds) * factor
+        completion = dispatch_s + service_s
+        crash_s = (
+            self.fault_plan.crash_in(replica, dispatch_s, completion)
+            if self.fault_plan is not None
+            else None
+        )
+        if crash_s is not None:
+            # Lost in flight: the crash transition (still pending in the
+            # event heap) owns the health flip and the recovery t_free;
+            # only the loss itself is applied here.
+            return self._fail_members(replica, crash_s, members, strike=False)
+        if self.fault_plan is not None and self.fault_plan.fails_batch(
+            replica, batch_index
+        ):
+            state.queue.t_free = max(state.queue.t_free, completion)
+            return self._fail_members(replica, completion, members, strike=True)
         state.queue.t_free = completion
+        state.strikes = 0
+        if state.health in (SUSPECTED, RECOVERING):
+            state.health = HEALTHY
         inserts = []
-        for pos, (rid, arrival) in enumerate(members):
+        for pos, (rid, _push_arrival) in enumerate(members):
+            if rid in self.results:
+                # A hedge twin already delivered this request; discard.
+                self.n_hedge_wasted += 1
+                continue
+            arrival = self._arrival0[rid]
             self.results[rid] = topk[pos]
             latency = completion - arrival
             self.latencies[rid] = latency
             state.latencies.append(latency)
+            if self._attempts.get(rid, 0) > 0:
+                self.n_rescued += 1
             self.traces[rid] = RequestTrace(
                 request_id=rid,
                 arrival_s=arrival,
@@ -319,17 +634,50 @@ class ClusterPolicy:
         batch = ServedBatch(
             indices=tuple(rid for rid, _ in members),
             dispatch_s=float(dispatch_s),
-            service_s=float(served.seconds),
+            service_s=service_s,
         )
         state.batches.append(batch)
         self.all_batches.append(batch)
         state.energy_j += served.energy_j
         state.last_completion_s = completion
         heapq.heappush(
-            self._completions, (completion, self._seq, replica, inserts)
+            self._completions,
+            (completion, self._seq, replica, len(members), inserts),
         )
         self._seq += 1
         return completion
+
+    def fail_batch(
+        self, replica: int, dispatch_s: float, members,
+        at_s: "float | None" = None,
+    ) -> float:
+        """A *real* (uninjected) engine failure: requeue and strike.
+
+        The live driver calls this when an engine batch raises, passing a
+        detection instant ``at_s`` (clamped to the dispatch) that keeps its
+        virtual clock monotone.  Real failures are not in any plan, so this
+        path favours graceful degradation over replayability (a run that
+        hits one will not verify decision-identical, by design).
+        """
+        at_s = dispatch_s if at_s is None else max(float(at_s), dispatch_s)
+        state = self.states[replica]
+        state.queue.t_free = max(state.queue.t_free, at_s)
+        return self._fail_members(replica, at_s, members, strike=True)
+
+    def _fail_members(
+        self, replica: int, at_s: float, members, strike: bool
+    ) -> float:
+        """Common loss path: decrement copies, requeue, account."""
+        self.n_batch_failures += 1
+        for rid, _arrival in members:
+            self._requeue(rid, at_s)
+        if strike:
+            self._strike(replica, at_s)
+        heapq.heappush(
+            self._completions, (at_s, self._seq, replica, len(members), [])
+        )
+        self._seq += 1
+        return at_s
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -341,34 +689,47 @@ class ClusterPolicy:
 
     @property
     def n_queued(self) -> int:
-        """Requests currently waiting in some replica's queue."""
+        """Queue slots currently occupied (hedge duplicates included)."""
         return sum(s.queue.queued for s in self.states)
+
+    @property
+    def n_pending_events(self) -> int:
+        """Scheduled policy events (transitions, retries, hedges) not yet due."""
+        return len(self._events)
+
+    def fault_stats(self) -> "dict | None":
+        """Fault/recovery counters of the run (``None`` for a clean run)."""
+        total = (
+            self.n_retries
+            + self.n_hedges
+            + self.n_failed
+            + self.n_batch_failures
+        )
+        if self.fault_plan is None and total == 0:
+            return None
+        return {
+            "n_batch_failures": self.n_batch_failures,
+            "n_retries": self.n_retries,
+            "n_rescued": self.n_rescued,
+            "n_failed": self.n_failed,
+            "n_hedges": self.n_hedges,
+            "n_hedge_wasted": self.n_hedge_wasted,
+            "n_crashes": sum(s.crashes for s in self.states),
+            "health": [s.health for s in self.states],
+        }
 
     def recorded_stream(self) -> "tuple[np.ndarray, np.ndarray]":
         """The offered ``(queries, arrivals)`` in request-id order.
 
-        This is the exact input a :class:`~repro.serving.cluster.
-        ClusterRuntime` needs to replay the run — queued-but-undispatched
-        requests are included, so replay a *finished* stream.
+        Arrivals are the *original* arrival instants (retries and hedges
+        never rewrite them), so this is the exact input a
+        :class:`~repro.serving.cluster.ClusterRuntime` needs to replay the
+        run — queued-but-undispatched requests are included, so replay a
+        *finished* stream.
         """
         rids = sorted(self.queries)
         queries = np.stack([self.queries[rid] for rid in rids])
         arrivals = np.array(
-            [
-                self.traces[rid].arrival_s
-                if rid in self.traces
-                else self._queued_arrival(rid)
-                for rid in rids
-            ],
-            dtype=np.float64,
+            [self._arrival0[rid] for rid in rids], dtype=np.float64
         )
         return queries, arrivals
-
-    def _queued_arrival(self, rid: int) -> float:
-        for state in self.states:
-            for qid, arrival in state.queue._pending:
-                if qid == rid:
-                    return arrival
-        raise ConfigurationError(
-            f"request {rid} has neither a trace nor a queue slot"
-        )

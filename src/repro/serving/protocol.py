@@ -73,12 +73,20 @@ def decode_frame(body: bytes) -> dict:
     return message
 
 
-async def read_frame(reader: asyncio.StreamReader) -> "dict | None":
+async def read_frame(
+    reader: asyncio.StreamReader, max_bytes: "int | None" = None
+) -> "dict | None":
     """Read one message; ``None`` on a clean EOF at a frame boundary.
 
     EOF *inside* a frame (mid-header or mid-body) is a peer crash, not a
     clean close, and raises :class:`~repro.errors.FormatError`.
+    ``max_bytes`` tightens the per-frame body cap below the protocol-wide
+    :data:`MAX_FRAME_BYTES` (a server bounding untrusted input); it can
+    never loosen it.
     """
+    cap = MAX_FRAME_BYTES if max_bytes is None else min(
+        int(max_bytes), MAX_FRAME_BYTES
+    )
     try:
         header = await reader.readexactly(_HEADER.size)
     except asyncio.IncompleteReadError as exc:
@@ -86,10 +94,10 @@ async def read_frame(reader: asyncio.StreamReader) -> "dict | None":
             return None
         raise FormatError("connection closed mid-header") from exc
     (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
+    if length > cap:
         raise FormatError(
             f"peer announced a {length}-byte frame, over the "
-            f"{MAX_FRAME_BYTES}-byte protocol cap"
+            f"{cap}-byte protocol cap"
         )
     try:
         body = await reader.readexactly(length)

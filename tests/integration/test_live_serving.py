@@ -223,7 +223,12 @@ class TestProtocolErrorPaths:
                 )
                 bad_w.write(b"\xff\xff\xff\xff")  # 4 GiB announced frame
                 await bad_w.drain()
-                assert await read_frame(bad_r) is None  # peer hangs up on us
+                # Typed error frame first, then the server hangs up (a
+                # corrupt length prefix cannot be resynchronised).
+                reply = await read_frame(bad_r)
+                assert reply["op"] == "error"
+                assert reply["code"] == "bad-frame"
+                assert await read_frame(bad_r) is None
                 bad_w.close()
                 await bad_w.wait_closed()
                 # A fresh, well-behaved connection still works.
@@ -329,7 +334,11 @@ class TestEngineFailure:
         def query_batch(self, queries, top_k):
             raise RuntimeError("board fell over")
 
-    def test_engine_failure_reaches_client_and_stops_server(self):
+    def test_engine_failure_degrades_to_typed_failed_response(self):
+        # A persistently-failing engine no longer poisons the run: the
+        # batch is retried with backoff, the replica struck out, and the
+        # client gets a typed ``failed`` result — the server survives and
+        # drains cleanly.
         async def run():
             server = LiveServer(
                 ClusterRuntime(
@@ -350,14 +359,13 @@ class TestEngineFailure:
             writer.close()
             await writer.wait_closed()
             server.request_stop()
-            with pytest.raises(RuntimeError, match="board fell over"):
-                await serve_task
+            await serve_task  # no exception: the failure was absorbed
             return reply
 
         reply = asyncio.run(run())
-        assert reply["op"] == "error"
-        assert "engine failure" in reply["error"]
-        assert "board fell over" in reply["error"]
+        assert reply["op"] == "result"
+        assert reply["status"] == "failed"
+        assert "indices" not in reply
 
 
 class TestCliEndToEnd:
