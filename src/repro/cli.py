@@ -53,11 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(ALL_EXPERIMENTS)
-        + ["all", "serve-bench", "compile", "bench-all", "ingest",
+        + ["all", "serve-bench", "compile", "tune", "bench-all", "ingest",
            "serve-live", "load-gen"],
         help="which experiment to regenerate (serve-bench runs the sharded "
         "batch serving simulation; compile builds and saves a servable "
-        "collection artifact instead of a paper artifact; bench-all runs "
+        "collection artifact instead of a paper artifact; tune searches "
+        "row placements against the cost model + probe queries and saves "
+        "the winning layout; bench-all runs "
         "every benchmarks/bench_*.py emitter and consolidates the results; "
         "ingest drives a mutation workload through a segmented collection "
         "and compares incremental ingest against a full recompile; "
@@ -68,8 +70,8 @@ def build_parser() -> argparse.ArgumentParser:
         "rest",
         nargs="*",
         metavar="ARG",
-        help="for compile: <dataset> <out.npz> where dataset is "
-        "'synthetic' or 'glove'",
+        help="for compile/tune: <dataset> <out.npz> where dataset is "
+        "'synthetic', 'zipf' or 'glove'",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -286,8 +288,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="queries checked bit-identical against a fresh recompile of "
         "the equivalent final matrix (default 8; 0 disables)",
     )
+    tune = parser.add_argument_group("tune options")
+    tune.add_argument(
+        "--partitions", type=int, default=None,
+        help="HBM channels / partitions to place across (default: the "
+        "design's core count)",
+    )
+    tune.add_argument(
+        "--n-probes", type=int, default=32,
+        help="probe queries the skip estimator and measured ranking use "
+        "(default 32)",
+    )
+    tune.add_argument(
+        "--anneal-iters", type=int, default=64,
+        help="boundary-shift annealing iterations on the best candidate "
+        "(default 64; 0 disables)",
+    )
+    tune.add_argument(
+        "--no-measure", action="store_true",
+        help="rank by the cost model alone — skips the compile+sweep "
+        "calibration and finalist measurement (cheaper, less faithful)",
+    )
     dataset_group = parser.add_argument_group(
-        "dataset options (compile, serve-bench and ingest)"
+        "dataset options (compile, tune, serve-bench and ingest)"
     )
     dataset_group.add_argument(
         "--cols", type=int, default=512,
@@ -538,27 +561,24 @@ def _run_load_gen(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_compile(args: argparse.Namespace) -> int:
-    from repro.core.collection import compile_collection
-    from repro.hw.design import design_by_name
-
-    if len(args.rest) != 2:
-        raise SystemExit(
-            "usage: repro compile <dataset> <out.npz>  "
-            "(dataset: 'synthetic' or 'glove')"
-        )
-    dataset, out_path = args.rest
+def _build_cli_matrix(dataset: str, args: argparse.Namespace):
+    """The compile/tune dataset builders (synthetic | zipf | glove)."""
     rows = args.rows if args.rows is not None else 20_000
     seed = args.seed if args.seed is not None else 0
-    started = time.perf_counter()
     if dataset == "synthetic":
         from repro.data.synthetic import synthetic_embeddings
 
-        matrix = synthetic_embeddings(
+        return synthetic_embeddings(
             n_rows=rows, n_cols=args.cols, avg_nnz=args.avg_nnz,
             distribution="uniform", seed=seed,
         )
-    elif dataset == "glove":
+    if dataset == "zipf":
+        from repro.data.synthetic import zipf_embeddings
+
+        return zipf_embeddings(
+            n_rows=rows, n_cols=args.cols, avg_nnz=args.avg_nnz, seed=seed,
+        )
+    if dataset == "glove":
         from repro.data.glove import sparsified_glove_embeddings
 
         if args.cols < 2 * args.avg_nnz:
@@ -567,19 +587,121 @@ def _run_compile(args: argparse.Namespace) -> int:
                 "sparse dictionary has enough atoms; got --cols "
                 f"{args.cols} with --avg-nnz {args.avg_nnz}"
             )
-        matrix = sparsified_glove_embeddings(
+        return sparsified_glove_embeddings(
             n_rows=rows, n_cols=args.cols, avg_nnz=args.avg_nnz, seed=seed,
         )
-    else:
+    raise SystemExit(
+        f"unknown dataset {dataset!r}; expected 'synthetic', 'zipf' or 'glove'"
+    )
+
+
+def _run_compile(args: argparse.Namespace) -> int:
+    from repro.core.collection import compile_collection
+    from repro.hw.design import design_by_name
+
+    if len(args.rest) != 2:
         raise SystemExit(
-            f"unknown compile dataset {dataset!r}; expected 'synthetic' or 'glove'"
+            "usage: repro compile <dataset> <out.npz>  "
+            "(dataset: 'synthetic', 'zipf' or 'glove')"
         )
+    dataset, out_path = args.rest
+    started = time.perf_counter()
+    matrix = _build_cli_matrix(dataset, args)
     collection = compile_collection(matrix, design_by_name(args.design))
     collection.save(out_path)
     elapsed = time.perf_counter() - started
     print(collection.describe())
     print(f"wrote {out_path}", file=sys.stderr)
     print(f"[compile completed in {elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
+def _run_tune(args: argparse.Namespace) -> int:
+    """Search row placements, save the tuned artifact, report the search."""
+    from repro.core.collection import compile_collection
+    from repro.core.tune import tune_placement
+    from repro.hw.design import design_by_name
+
+    if not (
+        len(args.rest) == 2
+        or (args.collection is not None and len(args.rest) == 1)
+    ):
+        raise SystemExit(
+            "usage: repro tune <dataset> <out.npz>  "
+            "(dataset: 'synthetic', 'zipf' or 'glove'), or "
+            "repro tune <out.npz> --collection in.npz to re-place an "
+            "existing artifact"
+        )
+    dataset, out_path = (
+        args.rest if len(args.rest) == 2 else (None, args.rest[0])
+    )
+    started = time.perf_counter()
+    if args.collection is not None:
+        from repro.core.collection import CompiledCollection
+
+        source = CompiledCollection.load(args.collection)
+        matrix, design = source.matrix, source.design
+    else:
+        matrix = _build_cli_matrix(dataset, args)
+        design = design_by_name(args.design)
+    report = tune_placement(
+        matrix,
+        design,
+        n_partitions=args.partitions,
+        n_probes=args.n_probes,
+        seed=args.seed if args.seed is not None else 0,
+        anneal_iters=args.anneal_iters,
+        measure=not args.no_measure,
+    )
+    collection = compile_collection(
+        matrix,
+        design,
+        n_partitions=args.partitions,
+        placement=report.placement,
+    )
+    collection.save(out_path)
+    elapsed = time.perf_counter() - started
+
+    header = (
+        f"{'strategy':>20} {'model cost':>12} {'est skip':>9} "
+        f"{'nnz imb':>8} {'meas skip':>10}"
+    )
+    lines = ["# tune — placement search", "", header]
+    for c in report.candidates:
+        meas = (
+            f"{c.measured_skip_fraction:.3f}"
+            if c.measured_skip_fraction is not None
+            else "-"
+        )
+        lines.append(
+            f"{c.strategy:>20} {c.score.cost:>12.3e} "
+            f"{c.score.est_skip_fraction:>9.3f} {c.score.imbalance:>8.3f} "
+            f"{meas:>10}"
+        )
+    payload = report.to_payload()
+    lines.append("")
+    lines.append(
+        f"winner: {report.winner.strategy} "
+        f"(skip alpha {report.skip_alpha:.3f}, "
+        f"{report.n_probes} probes, seed {report.seed})"
+    )
+    for key in ("model_speedup_vs_uniform", "measured_speedup_vs_uniform"):
+        if key in payload:
+            lines.append(f"{key.replace('_', ' ')}: {payload[key]:.2f}x")
+    lines.append("")
+    lines.append(collection.describe())
+    text = "\n".join(lines)
+    print(text)
+    print(f"wrote {out_path}", file=sys.stderr)
+    print(f"[tune completed in {elapsed:.1f}s]", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
     return 0
 
 
@@ -858,10 +980,12 @@ def main(argv: "list[str] | None" = None) -> int:
         raise SystemExit("--quick and --paper-scale are mutually exclusive")
     if args.experiment == "compile":
         return _run_compile(args)
+    if args.experiment == "tune":
+        return _run_tune(args)
     if args.rest:
         raise SystemExit(
             f"unexpected positional arguments {args.rest}; only 'compile' "
-            "takes extra arguments"
+            "and 'tune' take extra arguments"
         )
     if args.experiment == "serve-bench":
         return _run_serve_bench(args)

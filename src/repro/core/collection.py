@@ -37,6 +37,7 @@ from repro.core.kernels.contraction import (
     codec_grid_bits,
     lower_plans,
 )
+from repro.core.placement import Placement, resolve_placement
 from repro.errors import ConfigurationError, FormatError
 from repro.formats.bscsr import BSCSRMatrix, BSCSRStream
 from repro.formats.csr import CSRMatrix
@@ -111,6 +112,7 @@ def compile_collection(
     matrix,
     design: "AcceleratorDesign | None" = None,
     n_partitions: "int | None" = None,
+    placement=None,
 ) -> "CompiledCollection":
     """Partition + quantise + encode a collection: the one build pipeline.
 
@@ -126,19 +128,34 @@ def compile_collection(
     n_partitions:
         Stream count override; defaults to ``design.cores`` (one stream per
         core / HBM channel).
+    placement:
+        Row→channel layout: ``None``/``"uniform"`` (original order, the
+        default), a strategy name from
+        :data:`~repro.core.placement.PLACEMENT_STRATEGIES`, or a
+        :class:`~repro.core.placement.Placement`.  The permutation is
+        applied *before* encoding and persisted (digest-covered) with the
+        artifact; ``collection.matrix`` keeps the original row order and
+        every engine inverse-maps results, so placement never changes
+        top-k output — only channel balance and block-skip.
     """
     from repro.core.engine import as_csr_matrix  # deferred: engine imports us
 
     matrix = as_csr_matrix(matrix)
     design = resolve_design(matrix, design)
+    n_parts = design.cores if n_partitions is None else n_partitions
+    placement = resolve_placement(placement, matrix, n_parts)
+    encode_input = matrix if placement is None else matrix.take_rows(placement.order)
     encoded = BSCSRMatrix.encode(
-        matrix,
+        encode_input,
         layout=design.layout,
         codec=design.codec,
-        n_partitions=design.cores if n_partitions is None else n_partitions,
+        n_partitions=n_parts,
         rows_per_packet=design.effective_rows_per_packet,
+        boundaries=None if placement is None else placement.boundaries,
     )
-    return CompiledCollection(matrix=matrix, design=design, encoded=encoded)
+    return CompiledCollection(
+        matrix=matrix, design=design, encoded=encoded, placement=placement
+    )
 
 
 class CompiledCollection:
@@ -153,15 +170,27 @@ class CompiledCollection:
         matrix: CSRMatrix,
         design: AcceleratorDesign,
         encoded: BSCSRMatrix,
+        placement: "Placement | None" = None,
     ):
         if encoded.n_rows != matrix.n_rows or encoded.n_cols != matrix.n_cols:
             raise ConfigurationError(
                 f"encoded shape ({encoded.n_rows}, {encoded.n_cols}) disagrees "
                 f"with matrix shape {matrix.shape}"
             )
+        if placement is not None and (
+            placement.n_rows != matrix.n_rows
+            or placement.n_partitions != encoded.n_partitions
+        ):
+            raise ConfigurationError(
+                f"placement shape ({placement.n_rows} rows, "
+                f"{placement.n_partitions} partitions) disagrees with the "
+                f"encoded collection ({matrix.n_rows} rows, "
+                f"{encoded.n_partitions} partitions)"
+            )
         self.matrix = matrix
         self.design = design
         self.encoded = encoded
+        self.placement = placement
         self._plans: "list[StreamPlan | None]" = [None] * encoded.n_partitions
         self._plans_all: "list[StreamPlan] | None" = None
         self._operand: "ContractionOperand | None" = None
@@ -189,19 +218,67 @@ class CompiledCollection:
         """Partition streams (= cores = HBM channels on one board)."""
         return self.encoded.n_partitions
 
-    def describe(self) -> str:
-        """Multi-line summary of the compiled artifact."""
-        return "\n".join(
-            [
-                self.design.describe(),
-                f"matrix: {self.n_rows} rows x {self.n_cols} cols, "
-                f"{self.nnz} non-zeros",
-                f"BS-CSR: {self.encoded.total_packets} packets, "
-                f"{self.encoded.total_bytes / 1e6:.2f} MB across "
-                f"{self.n_partitions} channels",
-                f"digest: {self.digest[:16]}…",
-            ]
+    @property
+    def row_map(self) -> "np.ndarray | None":
+        """Stream-position → original-row map the engines globalise through.
+
+        ``None`` for identity placements: kernel-local indices plus the
+        partition's global row offset already *are* original row ids.
+        """
+        return None if self.placement is None else self.placement.order
+
+    def channel_stats(self) -> "dict[str, np.ndarray | float]":
+        """Per-partition nnz/packet counts and the nnz imbalance ratio.
+
+        ``imbalance`` is max/mean nnz across channels — 1.0 is a perfectly
+        balanced board; the makespan core is ~``imbalance``x the average.
+        """
+        part_nnz = np.array([s.nnz for s in self.encoded.streams], dtype=np.int64)
+        part_packets = np.array(
+            [s.n_packets for s in self.encoded.streams], dtype=np.int64
         )
+        part_rows = np.array([s.n_rows for s in self.encoded.streams], dtype=np.int64)
+        mean_nnz = float(part_nnz.mean()) if len(part_nnz) else 0.0
+        imbalance = float(part_nnz.max() / mean_nnz) if mean_nnz > 0 else 1.0
+        return {
+            "part_nnz": part_nnz,
+            "part_packets": part_packets,
+            "part_rows": part_rows,
+            "imbalance": imbalance,
+        }
+
+    def describe(self) -> str:
+        """Multi-line summary of the compiled artifact, including the
+        per-channel nnz/packet histogram — skew is visible before and
+        after tuning."""
+        stats = self.channel_stats()
+        part_nnz, part_packets = stats["part_nnz"], stats["part_packets"]
+        placement_line = (
+            "placement: uniform (original row order)"
+            if self.placement is None
+            else f"placement: {self.placement.strategy} (permuted rows)"
+        )
+        lines = [
+            self.design.describe(),
+            f"matrix: {self.n_rows} rows x {self.n_cols} cols, "
+            f"{self.nnz} non-zeros",
+            f"BS-CSR: {self.encoded.total_packets} packets, "
+            f"{self.encoded.total_bytes / 1e6:.2f} MB across "
+            f"{self.n_partitions} channels",
+            placement_line,
+            f"channel imbalance: max/mean nnz = {stats['imbalance']:.2f}x",
+        ]
+        peak = int(part_nnz.max()) if len(part_nnz) else 0
+        for p in range(self.n_partitions):
+            bar = "#" * (
+                round(24 * int(part_nnz[p]) / peak) if peak else 0
+            )
+            lines.append(
+                f"  ch {p:>3}: nnz {int(part_nnz[p]):>10}  "
+                f"packets {int(part_packets[p]):>8}  |{bar}"
+            )
+        lines.append(f"digest: {self.digest[:16]}…")
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------ #
     # Stream plans — the single lazy cache every consumer shares
@@ -314,7 +391,20 @@ class CompiledCollection:
         packet_offsets = np.concatenate(
             [[0], np.cumsum([s.n_packets for s in streams], dtype=np.int64)]
         ).astype(np.int64)
+        placement_arrays = (
+            {}
+            if self.placement is None
+            # Digest-covered (these are primary payload arrays): a placed
+            # artifact's identity includes its permutation.  Identity
+            # placements persist nothing, so pre-placement artifacts and
+            # their digests are byte-identical.
+            else {
+                "placement_order": self.placement.order,
+                "placement_boundaries": self.placement.boundaries,
+            }
+        )
         return {
+            **placement_arrays,
             "matrix_indptr": self.matrix.indptr,
             "matrix_indices": self.matrix.indices,
             "matrix_data": self.matrix.data,
@@ -377,6 +467,11 @@ class CompiledCollection:
             "nnz": self.nnz,
             "n_partitions": self.n_partitions,
             "operand": operand_meta,
+            "placement": (
+                None
+                if self.placement is None
+                else {"strategy": self.placement.strategy}
+            ),
         }
 
     def save(self, path) -> None:
@@ -467,7 +562,19 @@ class CompiledCollection:
             n_rows=matrix.n_rows,
             n_cols=matrix.n_cols,
         )
-        collection = cls(matrix=matrix, design=design, encoded=encoded)
+        placement = None
+        if "placement_order" in arrays:
+            meta = header.get("placement") or {}
+            placement = Placement(
+                order=arrays["placement_order"],
+                boundaries=arrays["placement_boundaries"],
+                strategy=meta.get("strategy", "custom"),
+            )
+        # Legacy artifacts (no placement buffers) load as identity:
+        # ``placement`` stays None and every query path behaves as before.
+        collection = cls(
+            matrix=matrix, design=design, encoded=encoded, placement=placement
+        )
         collection._digest = header["digest"]
         if "op_data" in arrays:
             meta = header.get("operand") or {}

@@ -394,8 +394,13 @@ def simulate_multicore(
     local_k: int,
     accumulate_dtype: np.dtype = np.float64,
     fast: bool = True,
+    row_map: "np.ndarray | None" = None,
 ) -> tuple[list[TopKResult], DataflowStats]:
     """Run every partition through its own core; globalise local row ids.
+
+    ``row_map`` translates stream-global positions to original row ids for
+    placed (row-permuted) collections — candidates leave this function in
+    collection space either way, so placement never leaks downstream.
 
     Returns the per-core candidate lists (global ids) and merged statistics.
     The final merge/truncation to K is the host's job — see
@@ -407,9 +412,10 @@ def simulate_multicore(
         local, stats = simulate_dataflow(
             stream, x, local_k, accumulate_dtype, fast=fast
         )
-        results.append(
-            TopKResult(indices=local.indices + int(offset), values=local.values)
-        )
+        indices = local.indices + int(offset)
+        if row_map is not None:
+            indices = row_map[indices]
+        results.append(TopKResult(indices=indices, values=local.values))
         totals = totals.merge(stats)
     return results, totals
 
@@ -425,6 +431,7 @@ def simulate_multicore_batch(
     operand=None,
     query_chunk: "int | None" = None,
     executor: "str | None" = None,
+    row_map: "np.ndarray | None" = None,
 ) -> tuple[list[list[TopKResult]], list[DataflowStats]]:
     """Run a ``(Q, n_cols)`` query block through every partition's core.
 
@@ -468,6 +475,10 @@ def simulate_multicore_batch(
         by name.
     query_chunk:
         Query chunk width override (``None`` = per-backend auto-tuning).
+    row_map:
+        Stream-position → original-row translation for placed (row-
+        permuted) collections; candidate indices are mapped through it so
+        results always leave in collection space.  ``None`` = identity.
 
     Returns
     -------
@@ -537,9 +548,10 @@ def simulate_multicore_batch(
             # or share its local result buffers (TopKResult is frozen, its
             # arrays are not), so in-place offsetting would be an aliasing
             # hazard.
-            results[q].append(
-                TopKResult(indices=local.indices + offset, values=local.values)
-            )
+            indices = local.indices + offset
+            if row_map is not None:
+                indices = row_map[indices]
+            results[q].append(TopKResult(indices=indices, values=local.values))
         base = base.merge(plan.stats)
         accept_totals += out.accepts[p]
     totals = [replace(base, tracker_accepts=int(a)) for a in accept_totals]

@@ -352,6 +352,7 @@ class TopKSpmvEngine(MutableEngineMixin):
             x_uram,
             local_k=self.design.local_k,
             accumulate_dtype=self.design.accumulate_dtype,
+            row_map=self.collection.row_map,
         )
         topk = merge_topk_candidates(candidates, top_k)
         return EngineResult(
@@ -373,6 +374,7 @@ class TopKSpmvEngine(MutableEngineMixin):
             x_uram,
             local_k=self.design.local_k,
             accumulate_dtype=self.design.accumulate_dtype,
+            row_map=self.collection.row_map,
         )
 
     def query_exact(self, x: np.ndarray, top_k: int) -> TopKResult:
@@ -416,6 +418,7 @@ class TopKSpmvEngine(MutableEngineMixin):
             n_workers=self.kernel_workers,
             operand=operand,
             executor=self.kernel_executor,
+            row_map=self.collection.row_map,
         )
 
     def query_batch(self, queries: np.ndarray, top_k: int) -> "BatchResult":

@@ -283,6 +283,41 @@ def _fold_segment_contraction(
     return folded
 
 
+def _fold_segment_placed(
+    segment, X, pads, accumulate_dtype, first_live, counters
+) -> int:
+    """Fold one sealed segment whose artifact has a row placement.
+
+    A placed artifact's streams hold *permuted* rows, but the segment's
+    ``keys``/``live`` are indexed by original artifact row — the per-plan
+    fold loop of :func:`_fold_segment` (which slices ``live`` by stream
+    position) would offer the wrong rows in the wrong order.  Per-row score
+    bits are placement-invariant (row-contiguous ``reduceat``), so this
+    path computes the full permuted score block, reorders columns through
+    ``placement.inverse`` back to original row order, and folds once —
+    offering exactly the sequence an identity compile of the same matrix
+    would, hence unconditionally bit-identical, ties and float codecs
+    included.  The streaming screens are forfeited for placed segments
+    (scores for every row are materialised); the frozen query path is
+    where a placed collection's skip win lives.
+    """
+    artifact = segment.artifact
+    n_queries = X.shape[0]
+    blocks = [
+        plan_row_scores(X, plan, accumulate_dtype)
+        for plan in artifact.stream_plans()
+        if plan.n_rows
+    ]
+    if not blocks:
+        return 0
+    scores_perm = np.concatenate(blocks, axis=1)
+    scores = np.ascontiguousarray(scores_perm[:, artifact.placement.inverse])
+    live = None if segment.all_live else segment.live
+    folded = _fold_scores(pads, scores, live, first_live)
+    counters.total += folded * n_queries
+    return folded
+
+
 def _fold_segment(
     segment, X, pads, accumulate_dtype, kernel_name, first_live, counters
 ) -> int:
@@ -290,6 +325,10 @@ def _fold_segment(
     artifact = segment.artifact
     for plan in artifact.stream_plans():
         counters.stats = counters.stats.merge(plan.stats)
+    if getattr(artifact, "placement", None) is not None:
+        return _fold_segment_placed(
+            segment, X, pads, accumulate_dtype, first_live, counters
+        )
     if kernel_name == "contraction":
         return _fold_segment_contraction(segment, X, pads, first_live, counters)
     if kernel_name == "native":
@@ -354,7 +393,12 @@ def run_segmented(
     kernels_used = []
     offset = 0
     for segment in collection.segments:
-        name = select_segment_kernel(segment.artifact, X, kernel, acc, top_k)
+        # Placed artifacts take the dedicated inverse-reorder fold (see
+        # _fold_segment_placed) — gather semantics, recorded as such.
+        if getattr(segment.artifact, "placement", None) is not None:
+            name = "gather"
+        else:
+            name = select_segment_kernel(segment.artifact, X, kernel, acc, top_k)
         kernels_used.append(name)
         offset += _fold_segment(segment, X, pads, acc, name, offset, counters)
     delta = collection.compiled_delta()

@@ -27,6 +27,7 @@ __all__ = [
     "distinct_columns",
     "embeddings_from_row_lengths",
     "synthetic_embeddings",
+    "zipf_embeddings",
 ]
 
 
@@ -184,3 +185,38 @@ def synthetic_embeddings(
     return embeddings_from_row_lengths(
         lengths, n_cols, rng, non_negative=non_negative, normalize=normalize
     )
+
+
+def zipf_embeddings(
+    n_rows: int,
+    n_cols: int,
+    avg_nnz: int,
+    seed: "int | np.random.Generator | None" = None,
+    exponent: float = 1.0,
+    non_negative: bool = True,
+) -> CSRMatrix:
+    """A Zipfian embedding corpus: Γ row lengths × power-law row magnitudes.
+
+    Real embedding collections are Zipfian twice over — in nnz per row and
+    in row norm (popularity) — and the magnitude ranks are *shuffled*
+    across row ids, so neither channel balance nor the streaming kernels'
+    threshold block-skip falls out of the original row order.  This is the
+    corpus the placement tuner (:mod:`repro.core.tune`) is evaluated on:
+    ``uniform`` placement skips ~nothing here, norm-sorting within
+    nnz-balanced channels recovers the skip.
+
+    Row ``r`` gets magnitude ``1 / (1 + rank_r)^exponent`` with a seeded
+    random rank permutation; rows stay direction-normalised first, so the
+    magnitude *is* the L2 norm.
+    """
+    if exponent <= 0:
+        raise DataGenerationError(f"exponent must be > 0, got {exponent}")
+    rng = derive_rng(seed)
+    lengths = np.minimum(gamma_row_lengths(n_rows, avg_nnz, rng), n_cols)
+    matrix = embeddings_from_row_lengths(
+        lengths, n_cols, rng, non_negative=non_negative, normalize=True
+    )
+    ranks = rng.permutation(n_rows).astype(np.float64)
+    scales = 1.0 / np.power(1.0 + ranks, exponent)
+    data = matrix.data * np.repeat(scales, np.diff(matrix.indptr))
+    return matrix.with_data(data)

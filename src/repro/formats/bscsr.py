@@ -614,11 +614,34 @@ class BSCSRMatrix:
         codec: ValueCodec,
         n_partitions: int = 1,
         rows_per_packet: int | None = None,
+        boundaries: "np.ndarray | None" = None,
     ) -> "BSCSRMatrix":
-        """Partition ``matrix`` row-wise and encode each partition."""
-        from repro.core.partition import partition_rows  # local import: no cycle at module load
+        """Partition ``matrix`` row-wise and encode each partition.
 
-        parts = partition_rows(matrix.n_rows, n_partitions)
+        ``boundaries`` (``n_partitions + 1`` non-decreasing cuts from 0 to
+        ``n_rows``) overrides the default balanced split — a skew-aware
+        placement packs unequal row counts per channel to equalise nnz.
+        """
+        from repro.core.partition import RowPartition, partition_rows  # local import: no cycle at module load
+
+        if boundaries is None:
+            parts = partition_rows(matrix.n_rows, n_partitions)
+        else:
+            boundaries = np.asarray(boundaries, dtype=np.int64)
+            if (
+                len(boundaries) != n_partitions + 1
+                or boundaries[0] != 0
+                or boundaries[-1] != matrix.n_rows
+                or (np.diff(boundaries) < 0).any()
+            ):
+                raise FormatError(
+                    f"boundaries must be {n_partitions + 1} non-decreasing "
+                    f"cuts from 0 to {matrix.n_rows}, got {boundaries!r}"
+                )
+            parts = [
+                RowPartition(int(boundaries[p]), int(boundaries[p + 1]))
+                for p in range(n_partitions)
+            ]
         streams = []
         offsets = []
         for part in parts:

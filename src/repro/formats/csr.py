@@ -172,6 +172,38 @@ class CSRMatrix:
             n_cols=self.n_cols,
         )
 
+    def take_rows(self, order: np.ndarray) -> "CSRMatrix":
+        """Rows in ``order`` (any row ids, any order) as a new CSR matrix.
+
+        The row-permutation primitive behind skew-aware placement: a full
+        permutation reorders the collection before BS-CSR encoding.
+        Within each row the column order is preserved, so per-row reduce
+        results stay bit-identical to the unpermuted matrix.
+        """
+        order = np.ascontiguousarray(order, dtype=np.int64)
+        if order.ndim != 1:
+            raise FormatError(f"row order must be 1-D, got shape {order.shape}")
+        if len(order) and (order.min() < 0 or order.max() >= self.n_rows):
+            raise FormatError(
+                f"row order entries out of range [0, {self.n_rows})"
+            )
+        lengths = np.diff(self.indptr)[order]
+        indptr = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+        total = int(indptr[-1])
+        # Vectorised ragged gather: lane t of new row i reads old lane
+        # old_start[i] + (t - new_start[i]).
+        gather = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(indptr[:-1], lengths)
+            + np.repeat(self.indptr[order], lengths)
+        )
+        return CSRMatrix(
+            indptr=indptr,
+            indices=self.indices[gather],
+            data=self.data[gather],
+            n_cols=self.n_cols,
+        )
+
     def with_data(self, data: np.ndarray) -> "CSRMatrix":
         """Return a copy sharing structure but with replaced values.
 

@@ -448,6 +448,11 @@ class ShardedEngine(MutableEngineMixin):
                 x_uram,
                 local_k=self.design.local_k,
                 accumulate_dtype=self.design.accumulate_dtype,
+                # Aligned shards slice a (possibly placed) parent artifact:
+                # stream positions are global, so the parent's row map
+                # globalises them; full-board shards compile their own
+                # identity collections (row_map is None).
+                row_map=shard.collection.row_map,
             )
             candidates.extend(local)
             totals = totals.merge(stats)
@@ -501,6 +506,7 @@ class ShardedEngine(MutableEngineMixin):
                 n_workers=self.kernel_workers,
                 operand=shard.contraction_operand() if pass_operand else None,
                 executor=self.kernel_executor,
+                row_map=shard.collection.row_map,
             )
             for q in range(n_queries):
                 per_query[q].extend(local[q])
